@@ -1,0 +1,45 @@
+"""Shared helpers for the table/figure reproduction harnesses.
+
+Every benchmark writes the rows it regenerates both to stdout and to
+``benchmarks/results/<name>.txt`` so the numbers survive pytest's output
+capture.  ``SNAP_BENCH_SCALE`` (a float multiplier, default 1.0) scales
+every instance size used by the harnesses: the defaults are sized to
+finish in minutes on one CPU; pushing the multiplier toward the paper's
+full sizes only changes runtime, not the comparisons.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Callable
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_scale(default: float = 1.0) -> float:
+    """Per-harness instance scale times the global env multiplier."""
+    mult = float(os.environ.get("SNAP_BENCH_SCALE", "1.0"))
+    return default * mult
+
+
+def write_result(name: str, lines: list[str]) -> None:
+    """Persist a regenerated table/figure and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n=== {name} ===")
+    print(text)
+
+
+def timed(fn: Callable, *args, **kwargs) -> tuple[object, float]:
+    """(result, wall seconds) of one call."""
+    t0 = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return out, time.perf_counter() - t0
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """pytest-benchmark wrapper for long-running single-shot workloads."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

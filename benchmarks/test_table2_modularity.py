@@ -1,0 +1,131 @@
+"""Table 2 — modularity achieved by GN vs pBD / pMA / pLA.
+
+Paper row layout (network, n, GN, pBD, pMA, pLA, best known)::
+
+    Karate          34   0.401  0.397  0.381  0.397  0.431
+    Political books 105  0.509  0.502  0.498  0.487  0.527
+    Jazz musicians  198  0.405  0.405  0.439  0.398  0.445
+    Metabolic       453  0.403  0.402  0.402  0.402  0.435
+    E-mail          1133 0.532  0.547  0.494  0.487  0.574
+    Key signing     10680 0.816 0.846  0.733  0.794  0.855
+
+karate is the exact Zachary graph; the other five are matched synthetic
+surrogates (DESIGN.md §3), so absolute Q values differ from the paper —
+the asserted *shape* is the paper's comparison: pBD tracks GN closely
+(sometimes better), pMA and pLA land in the same band, and all stay
+below the instance's attainable optimum.
+
+GN is O(m) iterations of O(nm) scoring, so the two largest networks run
+at reduced scale by default (the paper itself could only obtain the
+published GN numbers at great cost); SNAP_BENCH_SCALE scales all sizes.
+pBD samples 10 % per component here (the paper's 5 % is calibrated to
+its 10⁴–10⁶-vertex instances; the estimator's error depends on the
+*absolute* sample count, so smaller instances need a larger fraction to
+see the same number of traversals).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.community import (
+    PAPER_TABLE2,
+    girvan_newman,
+    pbd,
+    pla,
+    pma,
+)
+from repro.datasets import load_surrogate
+
+from _common import bench_scale, timed, write_result
+
+# (dataset, default scale): the two largest are shrunk so GN finishes.
+NETWORKS = [
+    ("karate", 1.0),
+    ("polbooks", 1.0),
+    ("jazz", 1.0),
+    ("metabolic", 1.0),
+    ("email", 0.35),
+    ("keysigning", 0.06),
+]
+PATIENCE = 20
+
+
+def test_table2_modularity(benchmark):
+    def run():
+        rows = []
+        for name, base_scale in NETWORKS:
+            scale = min(1.0, base_scale * bench_scale(1.0))
+            g = load_surrogate(name, scale=scale)
+            rng = np.random.default_rng(1)
+            r_gn, t_gn = timed(girvan_newman, g, patience=PATIENCE)
+            r_bd, t_bd = timed(
+                pbd, g, patience=PATIENCE, sample_fraction=0.1, rng=rng
+            )
+            r_ma, t_ma = timed(pma, g)
+            r_la, t_la = timed(pla, g, rng=np.random.default_rng(2))
+            rows.append(
+                dict(
+                    name=name,
+                    n=g.n_vertices,
+                    m=g.n_edges,
+                    gn=r_gn.modularity,
+                    pbd=r_bd.modularity,
+                    pma=r_ma.modularity,
+                    pla=r_la.modularity,
+                    t_gn=t_gn,
+                    t_bd=t_bd,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Table 2 reproduction: modularity Q by algorithm",
+        "(karate exact; others synthetic surrogates — paper values in parentheses)",
+        f"{'Network':12s}{'n':>7s}  {'GN':>16s}{'pBD':>16s}{'pMA':>16s}"
+        f"{'pLA':>16s}{'best(paper)':>12s}",
+    ]
+    for row in rows:
+        paper = PAPER_TABLE2[row["name"]]
+        lines.append(
+            f"{row['name']:12s}{row['n']:>7d}  "
+            f"{row['gn']:.3f} ({paper[1]:.3f})  "
+            f"{row['pbd']:.3f} ({paper[2]:.3f})  "
+            f"{row['pma']:.3f} ({paper[3]:.3f})  "
+            f"{row['pla']:.3f} ({paper[4]:.3f})  "
+            f"{paper[5]:>8.3f}"
+        )
+        lines.append(
+            f"{'':12s}{'':7s}  GN {row['t_gn']:.1f}s vs pBD {row['t_bd']:.1f}s "
+            f"(pBD {row['t_gn'] / max(row['t_bd'], 1e-9):.0f}x faster)"
+        )
+    write_result("table2_modularity", lines)
+
+    # --- shape assertions ---
+    close_count = 0
+    for row in rows:
+        # pBD never collapses relative to GN...
+        assert row["pbd"] >= row["gn"] - 0.2, (
+            f"{row['name']}: pBD {row['pbd']:.3f} far below GN {row['gn']:.3f}"
+        )
+        close_count += row["pbd"] >= row["gn"] - 0.08
+        # The agglomerative heuristics land in the same band.
+        assert row["pma"] >= row["gn"] - 0.12
+        assert row["pla"] >= row["gn"] - 0.12
+        # Everything finds real structure on these community graphs.
+        if row["name"] != "karate":
+            assert min(row["gn"], row["pbd"], row["pma"], row["pla"]) > 0.25
+    # ...and tracks it closely on the large majority of networks (the
+    # paper's headline quality claim; sampling noise on one small
+    # surrogate is tolerated).
+    assert close_count >= len(rows) - 1, close_count
+    # karate (exact data): compare to the paper's absolute values.
+    karate = rows[0]
+    assert karate["gn"] == pytest.approx(0.401, abs=0.01)
+    assert karate["pma"] == pytest.approx(0.381, abs=0.01)
+    # pBD is much cheaper than GN on the larger instances.
+    big = rows[-1]
+    assert big["t_gn"] > 2 * big["t_bd"]

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Community detection in a citation network, end to end.
+
+The paper's motivating workload: a large directed interaction graph
+(here the KDD-Cup-style citation surrogate) whose latent research
+communities must be identified.  The script walks the full SNAP
+pipeline — ignore directivity (paper §5), preprocess, pick an algorithm
+with the report's heuristics, cluster with all three algorithms, and
+compare quality and cost — then inspects the pBD dendrogram.
+
+Run:  python examples/citation_communities.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.community import pbd, pla, pma
+from repro.datasets import load_surrogate
+from repro.graph.builder import induced_subgraph
+from repro.kernels import largest_component
+from repro.metrics import preprocess
+
+
+def main() -> None:
+    g = load_surrogate("Citations", scale=0.02, rng=np.random.default_rng(5))
+    print(f"citation surrogate: {g}")
+
+    # §5: "We ignore edge directivity in the community detection
+    # algorithms."
+    und = g.as_undirected()
+    core, _ = induced_subgraph(und, largest_component(und))
+    print(f"analysis graph (giant component, undirected): {core}")
+
+    report = preprocess(core)
+    print(
+        f"degree skew {report.degree_skewness:.1f}, clustering "
+        f"{report.average_clustering:.3f}, assortativity "
+        f"{report.assortativity:+.3f}"
+    )
+    if report.pronounced_community_structure:
+        print("preprocessing verdict: pronounced structure — pLA will do well")
+    else:
+        print("preprocessing verdict: weak structure — divisive pBD is safer")
+
+    results = {}
+    for name, fn in (
+        ("pLA", lambda: pla(core, rng=np.random.default_rng(0))),
+        ("pMA", lambda: pma(core)),
+        ("pBD", lambda: pbd(core, patience=10, rng=np.random.default_rng(0))),
+    ):
+        t0 = time.perf_counter()
+        results[name] = fn()
+        dt = time.perf_counter() - t0
+        r = results[name]
+        print(f"{name}: Q={r.modularity:.3f}  clusters={r.n_clusters}  "
+              f"({dt:.1f}s)")
+
+    # Inspect pBD's divisive trace: modularity over deletions.
+    trace = results["pBD"].extras["trace"]
+    peak = trace.best_step()
+    print(
+        f"pBD removed {trace.n_steps} edges; modularity peaked at "
+        f"deletion {peak} (Q = {trace.best_score:.3f})"
+    )
+    checkpoints = np.linspace(0, trace.n_steps - 1, 6).astype(int)
+    print("Q trajectory:", [round(trace.scores[i], 3) for i in checkpoints])
+
+    # Communities of the best algorithm.
+    best = max(results.values(), key=lambda r: r.modularity)
+    sizes = sorted((len(c) for c in best.communities()), reverse=True)
+    print(
+        f"best partition ({best.algorithm}): top community sizes {sizes[:8]}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Protein-interaction network analysis (paper §3 and ref [10]).
+
+Reproduces the paper's computational-biology workflow on the PPI
+surrogate: topological characterization, centrality-based essentiality
+ranking, and the articulation-point "lethality screen" — the
+observation that low-degree articulation points of a protein network
+are likely sampling artifacts, not essential proteins.
+
+Run:  python examples/protein_interaction_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.centrality import betweenness_centrality, closeness_centrality
+from repro.community import pla
+from repro.datasets import load_surrogate
+from repro.graph.attributes import AttributedGraph
+from repro.graph.builder import induced_subgraph
+from repro.kernels import largest_component
+from repro.metrics import (
+    degree_distribution,
+    lethality_screen,
+    preprocess,
+    rich_club_coefficient,
+)
+
+
+def main() -> None:
+    g = load_surrogate("PPI", scale=0.15, rng=np.random.default_rng(11))
+    print(f"PPI surrogate: {g}")
+
+    # --- 1. topology ---------------------------------------------------
+    report = preprocess(g)
+    print(f"{report.n_components} components; giant component "
+          f"{report.largest_component_fraction:.0%} of the network")
+    ks, pk = degree_distribution(g)
+    print(f"degree range [{ks[0]}, {ks[-1]}], "
+          f"P(k=1) = {pk[0]:.2f} (sparse periphery)")
+    rc = rich_club_coefficient(g)
+    some_k = sorted(rc)[len(rc) // 2]
+    print(f"rich-club φ({some_k}) = {rc[some_k]:.3f}")
+
+    # --- 2. restrict to the giant component ----------------------------
+    core, original_ids = induced_subgraph(g, largest_component(g))
+    print(f"analyzing giant component: {core}")
+
+    # --- 3. essentiality ranking by centrality -------------------------
+    bc = betweenness_centrality(core)
+    cc = closeness_centrality(core)
+    deg = core.degrees()
+    ag = AttributedGraph(
+        core,
+        vertex_attrs={
+            "betweenness": bc,
+            "closeness": cc,
+            "degree": deg.astype(float),
+        },
+    )
+    order = np.argsort(bc)[::-1]
+    print("candidate essential proteins (top betweenness):")
+    for v in order[:5]:
+        attrs = ag.vertex_attributes.as_dict(int(v))
+        print(f"  protein {int(original_ids[v])}: deg={attrs['degree']:.0f} "
+              f"BC={attrs['betweenness']:.0f} CC={attrs['closeness']:.3f}")
+
+    # --- 4. the lethality screen ----------------------------------------
+    flagged = lethality_screen(core, degree_threshold=3)
+    print(f"lethality screen: {flagged.shape[0]} low-degree articulation "
+          "points — cut vertices unlikely to be biologically essential")
+
+    # --- 5. functional modules ------------------------------------------
+    modules = pla(core, rng=np.random.default_rng(0))
+    sizes = sorted((len(c) for c in modules.communities()), reverse=True)
+    print(f"pLA found {modules.n_clusters} putative functional modules "
+          f"(Q = {modules.modularity:.3f}); largest: {sizes[:5]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Monitoring a transient interaction stream (paper §1's motivation +
+§6's dynamic-networks future work).
+
+Simulates a stream of interaction events ("massive, transient data
+streams") over a fixed entity population: connectivity, degree and
+triangle statistics stay exact under every insertion/deletion, a
+windowed burst score flags an injected anomaly, and periodic CSR
+snapshots feed the heavier static analyses (community structure via
+spectral modularity).
+
+Run:  python examples/streaming_monitor.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.community import spectral_modularity
+from repro.dynamic import IncrementalComponents, StreamingStats
+from repro.graph import from_edge_list
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n = 400
+    blocks = np.repeat(np.arange(4), n // 4)  # latent communities
+
+    stats = StreamingStats(n, window=256)
+    conn = IncrementalComponents(n)
+    live: list[tuple[int, int]] = []
+
+    def emit(u: int, v: int) -> None:
+        if u != v and stats.add_edge(u, v):
+            conn.add_edge(u, v)
+            live.append((u, v))
+
+    # --- phase 1: organic growth (mostly intra-community contacts) ----
+    for step in range(4000):
+        if rng.random() < 0.9:
+            b = int(rng.integers(0, 4))
+            members = np.nonzero(blocks == b)[0]
+            u, v = rng.choice(members, size=2, replace=False)
+        else:
+            u, v = rng.integers(0, n, size=2)
+        emit(int(u), int(v))
+    print(
+        f"after growth: {stats.n_edges} edges, "
+        f"{conn.n_components} components, "
+        f"clustering {stats.global_clustering:.3f}, "
+        f"{stats.n_triangles} triangles"
+    )
+
+    # --- phase 2: churn (drop stale contacts) --------------------------
+    rng.shuffle(live)
+    for u, v in live[:600]:
+        if stats.delete_edge(u, v):
+            conn.delete_edge(u, v)
+    print(
+        f"after churn:  {stats.n_edges} edges, "
+        f"{conn.n_components} components, "
+        f"clustering {stats.global_clustering:.3f}"
+    )
+
+    # --- phase 3: anomaly — one entity suddenly contacts everyone ------
+    attacker = 13
+    for _ in range(120):
+        emit(attacker, int(rng.integers(0, n)))
+    scores = [(v, stats.burst_score(v)) for v in range(n)]
+    top = sorted(scores, key=lambda t: -t[1])[:3]
+    print("burst scores (top 3):",
+          [(v, round(s, 2)) for v, s in top])
+    assert top[0][0] == attacker, "anomaly detection missed the attacker"
+    print(f"flagged entity {top[0][0]} "
+          f"({top[0][1]:.0%} of recent events) — matches injected anomaly")
+
+    # --- phase 4: snapshot → static community analysis -----------------
+    snapshot = stats._snapshot()
+    result = spectral_modularity(snapshot, rng=np.random.default_rng(0))
+    print(f"snapshot communities: {result.summary()}")
+    # latent blocks should dominate the found communities
+    agreement = 0.0
+    for b in range(4):
+        found = result.labels[blocks == b]
+        agreement += np.max(np.bincount(found)) / found.shape[0]
+    print(f"alignment with latent communities: {agreement / 4:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — a from-scratch Python reproduction of SNAP.
+
+SNAP (Small-world Network Analysis and Partitioning; Bader & Madduri,
+IPDPS 2008) is an open-source parallel graph framework for exploratory
+study and partitioning of large-scale networks.  This package
+reimplements the full stack:
+
+* graph representations (:mod:`repro.graph`) — static CSR arrays,
+  dynamic adjacency, treap-backed hybrid adjacency;
+* a parallel runtime substrate (:mod:`repro.parallel`) — execution
+  contexts, a PRAM work–span cost model, degree-aware load balancing,
+  work-stealing simulation;
+* graph kernels (:mod:`repro.kernels`) — level-synchronous BFS,
+  connected/biconnected components, MST, Δ-stepping SSSP;
+* centrality (:mod:`repro.centrality`) — degree, closeness, exact and
+  adaptive-sampling approximate betweenness;
+* SNA metrics (:mod:`repro.metrics`) — clustering coefficients,
+  assortativity, rich-club, path statistics, preprocessing;
+* community detection (:mod:`repro.community`) — the paper's pBD, pMA
+  and pLA algorithms plus the GN and CNM baselines;
+* partitioning (:mod:`repro.partitioning`) — Metis-style multilevel and
+  Chaco-style spectral partitioners;
+* generators and datasets (:mod:`repro.generators`,
+  :mod:`repro.datasets`) — R-MAT, small-world, road-like and planted-
+  partition graphs, the exact karate club, and surrogates for the
+  paper's test networks.
+
+Quickstart::
+
+    from repro import generators, community, metrics
+
+    g = generators.rmat(scale=12, edge_factor=8)
+    report = metrics.preprocess(g)
+    result = community.pla(g)
+    print(result.summary())
+"""
+
+from repro import (
+    centrality,
+    community,
+    datasets,
+    generators,
+    graph,
+    kernels,
+    metrics,
+    parallel,
+    partitioning,
+)
+from repro.errors import (
+    ClusteringError,
+    ConvergenceError,
+    GraphFormatError,
+    GraphStructureError,
+    PartitioningError,
+    SnapError,
+)
+from repro.graph import Graph, from_edge_list, from_edge_array
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "graph",
+    "parallel",
+    "kernels",
+    "centrality",
+    "metrics",
+    "community",
+    "partitioning",
+    "generators",
+    "datasets",
+    "Graph",
+    "from_edge_list",
+    "from_edge_array",
+    "SnapError",
+    "GraphFormatError",
+    "GraphStructureError",
+    "ConvergenceError",
+    "PartitioningError",
+    "ClusteringError",
+    "__version__",
+]

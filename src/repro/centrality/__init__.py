@@ -1,0 +1,35 @@
+"""Centrality metrics (paper §2.1, §3).
+
+* degree centrality — local neighborhood size;
+* closeness centrality — inverse total distance;
+* betweenness centrality — Brandes shortest-path enumeration, exact
+  (vertex and edge variants, fine- or coarse-grained parallelization)
+  and approximate via the adaptive-sampling estimator of
+  Bader–Kintali–Madduri–Mihail [7] that pBD builds on.
+"""
+
+from repro.centrality.degree import degree_centrality
+from repro.centrality.closeness import closeness_centrality
+from repro.centrality.betweenness import (
+    BrandesResult,
+    betweenness_centrality,
+    edge_betweenness_centrality,
+    brandes,
+)
+from repro.centrality.approximate import (
+    approximate_vertex_betweenness,
+    sampled_betweenness,
+    AdaptiveSampleResult,
+)
+
+__all__ = [
+    "degree_centrality",
+    "closeness_centrality",
+    "BrandesResult",
+    "betweenness_centrality",
+    "edge_betweenness_centrality",
+    "brandes",
+    "approximate_vertex_betweenness",
+    "sampled_betweenness",
+    "AdaptiveSampleResult",
+]

@@ -1,0 +1,133 @@
+"""Approximate betweenness centrality by adaptive sampling.
+
+Implements the estimator of Bader, Kintali, Madduri and Mihail,
+*Approximating Betweenness Centrality* (WAW 2007) — paper reference
+[7] — which pBD substitutes for exact recomputation:
+
+* :func:`approximate_vertex_betweenness` — the adaptive variant for a
+  *single* entity: sample source traversals one at a time, accumulate
+  the entity's partial dependency ``S``, and stop as soon as
+  ``S ≥ c · n``; the estimate is ``n · S / k`` after ``k`` samples.
+  High-centrality entities stop after very few samples — that is the
+  "adaptive" payoff.
+* :func:`sampled_betweenness` — the fixed-fraction variant used inside
+  pBD's edge selection: traverse from ``⌈ρ·n⌉`` sampled sources
+  (paper: ρ = 5 %), extrapolate all vertex *and* edge scores by
+  ``n / k``.  The paper reports < 20 % error on the top-1 % entities at
+  ρ = 0.05.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphStructureError
+from repro.centrality.betweenness import _single_source_accumulate
+from repro.kernels._frontier import GraphLike, unwrap
+from repro.parallel.runtime import ParallelContext, ensure_context
+
+
+@dataclass
+class AdaptiveSampleResult:
+    """Estimate plus the sampling effort that produced it."""
+
+    estimate: float
+    n_samples: int
+    stopped_early: bool
+
+
+def approximate_vertex_betweenness(
+    g: GraphLike,
+    v: int,
+    *,
+    c: float = 5.0,
+    max_fraction: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+    ctx: Optional[ParallelContext] = None,
+) -> AdaptiveSampleResult:
+    """Adaptive-sampling betweenness estimate for vertex ``v``.
+
+    Samples sources without replacement until the accumulated
+    dependency of ``v`` reaches ``c * n`` or ``max_fraction`` of all
+    vertices have been used (at which point the estimate is exact up to
+    the undirected pair convention).
+    """
+    graph, edge_active = unwrap(g)
+    if graph.directed:
+        raise GraphStructureError("betweenness requires an undirected graph")
+    ctx = ensure_context(ctx)
+    n = graph.n_vertices
+    if not 0 <= v < n:
+        raise GraphStructureError(f"vertex {v} out of range [0, {n})")
+    if c <= 0:
+        raise ValueError("c must be positive")
+    rng = rng or np.random.default_rng(0)
+    order = rng.permutation(n)
+    budget = max(1, int(np.ceil(max_fraction * n)))
+    vertex_acc = np.zeros(n, dtype=np.float64)
+    edge_acc = np.zeros(graph.n_edges, dtype=np.float64)
+    s_total = 0.0
+    k = 0
+    stopped = False
+    with ctx.region():
+        per = float(max(1, graph.n_arcs))
+        for s in order[:budget]:
+            before = vertex_acc[v]
+            _single_source_accumulate(
+                graph, edge_active, int(s), vertex_acc, edge_acc, ctx, False
+            )
+            ctx.phase(per, per)  # one traversal = one sequential sample
+            s_total += vertex_acc[v] - before
+            k += 1
+            if s_total >= c * n:
+                stopped = True
+                break
+    if k == 0:
+        return AdaptiveSampleResult(0.0, 0, False)
+    # Undirected pair convention (each unordered pair counted once).
+    estimate = (n / k) * s_total / 2.0
+    return AdaptiveSampleResult(estimate, k, stopped)
+
+
+def sampled_betweenness(
+    g: GraphLike,
+    *,
+    sample_fraction: float = 0.05,
+    min_samples: int = 4,
+    rng: Optional[np.random.Generator] = None,
+    ctx: Optional[ParallelContext] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extrapolated vertex and edge betweenness from sampled sources.
+
+    Returns ``(vertex_scores, edge_scores)`` scaled by ``n / k`` so they
+    estimate the exact (undirected, unordered-pair) scores.  This is
+    pBD's step-4 primitive: only the *ranking* of the top edges matters
+    there, which sampling preserves for high-centrality edges.
+    """
+    graph, edge_active = unwrap(g)
+    if graph.directed:
+        raise GraphStructureError("betweenness requires an undirected graph")
+    if not 0.0 < sample_fraction <= 1.0:
+        raise ValueError("sample_fraction must be in (0, 1]")
+    ctx = ensure_context(ctx)
+    n = graph.n_vertices
+    if n == 0:
+        return np.zeros(0), np.zeros(0)
+    rng = rng or np.random.default_rng(0)
+    k = min(n, max(min_samples, int(np.ceil(sample_fraction * n))))
+    sources = rng.choice(n, size=k, replace=False)
+    vertex_acc = np.zeros(n, dtype=np.float64)
+    edge_acc = np.zeros(graph.n_edges, dtype=np.float64)
+    with ctx.region():
+        # Coarse-grained: the k traversals are the parallel tasks.
+        per = float(max(1, graph.n_arcs))
+        ctx.phase(per * k, per)
+        for s in sources:
+            _single_source_accumulate(
+                graph, edge_active, int(s), vertex_acc, edge_acc, ctx, False
+            )
+    scale = (n / k) / 2.0
+    return vertex_acc * scale, edge_acc * scale

@@ -1,0 +1,245 @@
+"""Command-line interface: explore, cluster, partition, generate, convert.
+
+Mirrors the utility programs the original SNAP distribution shipped::
+
+    python -m repro analyze  graph.txt
+    python -m repro cluster  graph.txt --algorithm pla
+    python -m repro partition graph.txt -k 8 --method kmetis
+    python -m repro generate rmat --scale 12 --edge-factor 8 -o out.txt
+    python -m repro convert  graph.txt out.graph --to metis
+
+Graphs are read from whitespace edge lists (``u v [w]``), METIS
+(``.graph``), DIMACS (``.gr``/``.dimacs``) or NumPy (``.npz``) files,
+chosen by extension.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro import community, generators, metrics
+from repro.errors import ConvergenceError, PartitioningError, SnapError
+from repro.graph import io as graph_io
+from repro.graph.csr import Graph
+from repro.partitioning import (
+    edge_cut,
+    multilevel_kway,
+    multilevel_recursive_bisection,
+    partition_balance,
+    spectral_kway,
+)
+
+_READERS = {
+    ".graph": graph_io.read_metis,
+    ".metis": graph_io.read_metis,
+    ".gr": graph_io.read_dimacs,
+    ".dimacs": graph_io.read_dimacs,
+    ".npz": graph_io.load_npz,
+}
+_WRITERS = {
+    "edgelist": graph_io.write_edge_list,
+    "metis": graph_io.write_metis,
+    "dimacs": graph_io.write_dimacs,
+    "npz": graph_io.save_npz,
+}
+
+
+def _load(path: str, directed: bool = False) -> Graph:
+    suffix = Path(path).suffix.lower()
+    reader = _READERS.get(suffix)
+    if reader is graph_io.read_dimacs:
+        return reader(path, directed=directed)
+    if reader is not None:
+        return reader(path)
+    return graph_io.read_edge_list(path, directed=directed)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    g = _load(args.graph, args.directed)
+    print(f"graph: {g}")
+    gg = g.as_undirected() if g.directed else g
+    report = metrics.preprocess(gg)
+    print(f"components          : {report.n_components} "
+          f"(largest {report.largest_component_fraction:.1%})")
+    print(f"average degree      : {report.average_degree:.2f}")
+    print(f"degree skewness     : {report.degree_skewness:.2f}")
+    print(f"clustering coeff    : {report.average_clustering:.4f}")
+    print(f"assortativity       : {report.assortativity:+.4f}")
+    print(f"bipartite           : {report.bipartite}")
+    print(f"articulation points : {report.n_articulation_points}")
+    print(f"bridges             : {report.n_bridges}")
+    print(f"small-world profile : {report.looks_small_world}")
+    if args.paths:
+        aspl = metrics.average_shortest_path_length(
+            gg, n_samples=min(gg.n_vertices, 64),
+            rng=np.random.default_rng(0),
+        )
+        diam = metrics.effective_diameter(
+            gg, n_samples=min(gg.n_vertices, 64),
+            rng=np.random.default_rng(0),
+        )
+        print(f"avg shortest path   : {aspl:.2f} (sampled)")
+        print(f"effective diameter  : {diam:.1f} (90th pct, sampled)")
+    return 0
+
+
+_CLUSTERERS = {
+    "pla": lambda g, a: community.pla(g, rng=np.random.default_rng(a.seed)),
+    "pma": lambda g, a: community.pma(g),
+    "pbd": lambda g, a: community.pbd(
+        g, patience=a.patience, rng=np.random.default_rng(a.seed)
+    ),
+    "gn": lambda g, a: community.girvan_newman(g, patience=a.patience),
+    "cnm": lambda g, a: community.cnm(g),
+}
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    g = _load(args.graph, args.directed)
+    if g.directed:
+        g = g.as_undirected()
+    t0 = time.perf_counter()
+    result = _CLUSTERERS[args.algorithm](g, args)
+    dt = time.perf_counter() - t0
+    print(f"{result.summary()}  [{dt:.2f}s]")
+    if args.output:
+        with open(args.output, "w") as f:
+            for v, lab in enumerate(result.labels):
+                f.write(f"{v} {int(lab)}\n")
+        print(f"labels written to {args.output}")
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    g = _load(args.graph, args.directed)
+    if g.directed:
+        g = g.as_undirected()
+    methods = {
+        "kmetis": lambda: multilevel_kway(g, args.k),
+        "pmetis": lambda: multilevel_recursive_bisection(g, args.k),
+        "spectral-rqi": lambda: spectral_kway(g, args.k, method="rqi"),
+        "spectral-lan": lambda: spectral_kway(g, args.k, method="lanczos"),
+    }
+    try:
+        parts = methods[args.method]()
+    except (ConvergenceError, PartitioningError) as exc:
+        print(f"partitioning failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"edge cut: {edge_cut(g, parts):,.0f}")
+    print(f"balance : {partition_balance(g, parts, args.k):.3f}")
+    if args.output:
+        np.savetxt(args.output, parts, fmt="%d")
+        print(f"partition written to {args.output}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.family == "rmat":
+        g = generators.rmat(args.scale, args.edge_factor, rng=rng)
+    elif args.family == "smallworld":
+        g = generators.watts_strogatz(args.n, args.k, args.p, rng=rng)
+    elif args.family == "random":
+        g = generators.gnm_random(args.n, args.m, rng=rng)
+    elif args.family == "road":
+        g = generators.road_network(args.n, args.k, rng=rng)
+    else:  # planted
+        g = generators.planted_partition(
+            args.n // args.blocks, args.p_in, args.p_out,
+            n_blocks=args.blocks, rng=rng,
+        ).graph
+    print(f"generated: {g}")
+    _WRITERS["npz" if args.output.endswith(".npz") else "edgelist"](
+        g, args.output
+    )
+    print(f"written to {args.output}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    g = _load(args.input, args.directed)
+    _WRITERS[args.to](g, args.output)
+    print(f"{g} → {args.output} ({args.to})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SNAP reproduction: small-world network analysis "
+        "and partitioning",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="exploratory network analysis")
+    p.add_argument("graph")
+    p.add_argument("--directed", action="store_true")
+    p.add_argument("--paths", action="store_true",
+                   help="also estimate path statistics (slower)")
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("cluster", help="community detection")
+    p.add_argument("graph")
+    p.add_argument("--directed", action="store_true")
+    p.add_argument("-a", "--algorithm", choices=sorted(_CLUSTERERS),
+                   default="pla")
+    p.add_argument("--patience", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", help="write vertex labels here")
+    p.set_defaults(fn=_cmd_cluster)
+
+    p = sub.add_parser("partition", help="balanced k-way partitioning")
+    p.add_argument("graph")
+    p.add_argument("--directed", action="store_true")
+    p.add_argument("-k", type=int, default=8)
+    p.add_argument("-m", "--method", default="kmetis",
+                   choices=["kmetis", "pmetis", "spectral-rqi",
+                            "spectral-lan"])
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=_cmd_partition)
+
+    p = sub.add_parser("generate", help="synthetic graph generators")
+    p.add_argument("family", choices=["rmat", "smallworld", "random",
+                                      "road", "planted"])
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=int, default=10, help="rmat: log2 n")
+    p.add_argument("--edge-factor", type=float, default=8.0)
+    p.add_argument("-n", type=int, default=1000)
+    p.add_argument("-m", type=int, default=5000)
+    p.add_argument("-k", type=int, default=6)
+    p.add_argument("-p", type=float, default=0.1)
+    p.add_argument("--blocks", type=int, default=4)
+    p.add_argument("--p-in", type=float, default=0.3)
+    p.add_argument("--p-out", type=float, default=0.01)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("convert", help="convert between graph formats")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--to", choices=sorted(_WRITERS), required=True)
+    p.add_argument("--directed", action="store_true")
+    p.set_defaults(fn=_cmd_convert)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except SnapError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

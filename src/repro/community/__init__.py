@@ -1,0 +1,50 @@
+"""Community identification (paper §4) — the core contribution.
+
+Three novel parallel modularity-maximization heuristics:
+
+* :func:`~repro.community.pbd.pbd` — approximate-betweenness divisive
+  (Algorithm 1),
+* :func:`~repro.community.pma.pma` — agglomerative with SNAP data
+  structures (Algorithm 2),
+* :func:`~repro.community.pla.pla` — greedy local aggregation
+  (Algorithm 3),
+
+plus the baselines they are evaluated against: Girvan–Newman exact
+edge-betweenness divisive clustering (:func:`~repro.community.gn.girvan_newman`)
+and Clauset–Newman–Moore greedy agglomeration
+(:func:`~repro.community.cnm.cnm`), and the paper's stated future-work
+direction, spectral modularity maximization
+(:func:`~repro.community.spectral_mod.spectral_modularity`).
+"""
+
+from repro.community.modularity import (
+    modularity,
+    ModularityTracker,
+    labels_to_communities,
+)
+from repro.community.dendrogram import Dendrogram, DivisiveTrace
+from repro.community.result import ClusteringResult
+from repro.community.cnm import cnm
+from repro.community.pma import pma
+from repro.community.gn import girvan_newman
+from repro.community.pbd import pbd
+from repro.community.pla import pla
+from repro.community.best_known import BEST_KNOWN_MODULARITY, PAPER_TABLE2
+from repro.community.spectral_mod import spectral_modularity
+
+__all__ = [
+    "modularity",
+    "ModularityTracker",
+    "labels_to_communities",
+    "Dendrogram",
+    "DivisiveTrace",
+    "ClusteringResult",
+    "cnm",
+    "pma",
+    "girvan_newman",
+    "pbd",
+    "pla",
+    "BEST_KNOWN_MODULARITY",
+    "PAPER_TABLE2",
+    "spectral_modularity",
+]

@@ -1,0 +1,159 @@
+"""Multi-level bucket priority structure (paper §4, Algorithm 2).
+
+pMA stores each ΔQ row twice: as a sorted dynamic array (for O(log n)
+lookup/insert) and "as a multi-level bucket (to identify the largest
+element quickly)".  This module implements that second structure: a
+two-level bucket index over a bounded float range.  ``max()`` scans
+buckets from the top — amortized O(1) when values are spread out,
+worst-case O(#buckets + bucket occupancy).
+
+Modularity gains live in [−½, 1], so the default range covers it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+import numpy as np
+
+
+class MultiLevelBucket:
+    """Two-level bucket max-structure over keyed float priorities."""
+
+    def __init__(
+        self,
+        lo: float = -1.0,
+        hi: float = 1.0,
+        n_top: int = 64,
+        n_sub: int = 16,
+    ) -> None:
+        if hi <= lo:
+            raise ValueError("hi must exceed lo")
+        if n_top < 1 or n_sub < 1:
+            raise ValueError("bucket counts must be positive")
+        self._lo = float(lo)
+        self._hi = float(hi)
+        self._n_top = int(n_top)
+        self._n_sub = int(n_sub)
+        self._top_width = (hi - lo) / n_top
+        self._sub_width = self._top_width / n_sub
+        # buckets[(t, s)] = set of keys;  values[key] = current priority
+        self._buckets: dict[tuple[int, int], set[Hashable]] = {}
+        self._values: dict[Hashable, float] = {}
+        self._max_top_hint = -1  # highest possibly-occupied top bucket
+
+    # ------------------------------------------------------------------
+    def _slot(self, val: float) -> tuple[int, int]:
+        x = min(max(val, self._lo), self._hi - 1e-12)
+        t = int((x - self._lo) / self._top_width)
+        t = min(t, self._n_top - 1)
+        s = int((x - self._lo - t * self._top_width) / self._sub_width)
+        return t, min(s, self._n_sub - 1)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._values
+
+    def value(self, key: Hashable) -> float:
+        return self._values[key]
+
+    def bulk_build(self, keys, vals) -> None:
+        """Replace the whole contents from parallel key/value arrays.
+
+        Vectorized slot computation — the fast path for pMA's per-merge
+        row-bucket rebuild (the row's gains all change when community
+        strengths change, so a rebuild is inherent; this makes it one
+        NumPy pass instead of per-key Python calls).
+        """
+        keys = np.asarray(keys)
+        vals = np.asarray(vals, dtype=np.float64)
+        if keys.shape != vals.shape:
+            raise ValueError("keys and values must align")
+        self._buckets.clear()
+        self._values = dict(zip(keys.tolist(), vals.tolist()))
+        if keys.shape[0] == 0:
+            self._max_top_hint = -1
+            return
+        x = np.clip(vals, self._lo, self._hi - 1e-12)
+        t = np.minimum(
+            ((x - self._lo) / self._top_width).astype(np.int64),
+            self._n_top - 1,
+        )
+        sub = np.minimum(
+            ((x - self._lo - t * self._top_width) / self._sub_width).astype(
+                np.int64
+            ),
+            self._n_sub - 1,
+        )
+        slot_id = t * self._n_sub + sub
+        order = np.argsort(slot_id, kind="stable")
+        sorted_slots = slot_id[order]
+        boundaries = np.nonzero(np.diff(sorted_slots))[0] + 1
+        key_list = keys[order]
+        for grp in np.split(np.arange(keys.shape[0]), boundaries):
+            sid = int(sorted_slots[grp[0]])
+            cell_keys = set(key_list[grp].tolist())
+            self._buckets[(sid // self._n_sub, sid % self._n_sub)] = cell_keys
+        self._max_top_hint = int(t.max())
+
+    def insert(self, key: Hashable, val: float) -> None:
+        """Insert or update ``key`` with priority ``val``."""
+        if key in self._values:
+            self.remove(key)
+        slot = self._slot(val)
+        self._buckets.setdefault(slot, set()).add(key)
+        self._values[key] = float(val)
+        self._max_top_hint = max(self._max_top_hint, slot[0])
+
+    def remove(self, key: Hashable) -> None:
+        val = self._values.pop(key)
+        slot = self._slot(val)
+        cell = self._buckets.get(slot)
+        if cell is not None:
+            cell.discard(key)
+            if not cell:
+                del self._buckets[slot]
+
+    def max(self) -> Optional[tuple[Hashable, float]]:
+        """Highest-priority ``(key, value)``; deterministic tie-break by key."""
+        if not self._values:
+            return None
+        for t in range(min(self._max_top_hint, self._n_top - 1), -1, -1):
+            hit_any = False
+            for s in range(self._n_sub - 1, -1, -1):
+                cell = self._buckets.get((t, s))
+                if not cell:
+                    continue
+                hit_any = True
+                best_key = None
+                best_val = -np.inf
+                for k in cell:
+                    v = self._values[k]
+                    if v > best_val or (v == best_val and _key_lt(k, best_key)):
+                        best_key, best_val = k, v
+                self._max_top_hint = t
+                return best_key, best_val
+            if not hit_any and t == self._max_top_hint:
+                self._max_top_hint = t - 1
+        return None
+
+    def check_invariants(self) -> None:
+        """Every key in exactly one bucket cell, in its value's slot."""
+        seen: set[Hashable] = set()
+        for slot, cell in self._buckets.items():
+            for k in cell:
+                assert k not in seen, "key in multiple cells"
+                seen.add(k)
+                assert self._slot(self._values[k]) == slot, "key in wrong slot"
+        assert seen == set(self._values), "bucket/value desync"
+
+
+def _key_lt(a: Hashable, b: Optional[Hashable]) -> bool:
+    if b is None:
+        return True
+    try:
+        return a < b  # type: ignore[operator]
+    except TypeError:
+        return False

@@ -1,0 +1,20 @@
+"""Datasets: the exact Zachary karate club plus synthetic surrogates
+for every network in the paper's Tables 2 and 3 (see DESIGN.md §3,
+substitution 2, for the rationale and matching criteria)."""
+
+from repro.datasets.karate import karate_club, KARATE_GROUND_TRUTH
+from repro.datasets.surrogates import (
+    SURROGATE_SPECS,
+    load_surrogate,
+    table2_networks,
+    table3_networks,
+)
+
+__all__ = [
+    "karate_club",
+    "KARATE_GROUND_TRUTH",
+    "SURROGATE_SPECS",
+    "load_surrogate",
+    "table2_networks",
+    "table3_networks",
+]

@@ -1,0 +1,18 @@
+"""Topological analysis of dynamic networks (the paper's future work).
+
+"We intend to extend SNAP to support the topological analysis of
+dynamic networks" (paper §6).  This package provides the incremental
+machinery that extension needs:
+
+* :class:`~repro.dynamic.components.IncrementalComponents` —
+  union–find connectivity maintained under edge insertions, with O(α)
+  queries (deletions trigger an epoch rebuild, the standard trade-off);
+* :class:`~repro.dynamic.stream.StreamingStats` — exact degree
+  statistics and triangle counts maintained per update, with a
+  windowed event log for burst detection.
+"""
+
+from repro.dynamic.components import IncrementalComponents
+from repro.dynamic.stream import StreamingStats, StreamEvent
+
+__all__ = ["IncrementalComponents", "StreamingStats", "StreamEvent"]

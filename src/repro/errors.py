@@ -1,0 +1,41 @@
+"""Exception hierarchy for the SNAP reproduction.
+
+All library-raised errors derive from :class:`SnapError` so callers can
+catch framework failures without swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class SnapError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphFormatError(SnapError):
+    """Raised when a graph file or edge list cannot be parsed or is invalid."""
+
+
+class GraphStructureError(SnapError):
+    """Raised when an operation's structural preconditions are violated.
+
+    Examples: requesting a vertex id outside ``[0, n)``, deleting an edge
+    that does not exist, or running an undirected-only kernel on a
+    directed graph.
+    """
+
+
+class ConvergenceError(SnapError):
+    """Raised when an iterative numerical method fails to converge.
+
+    The spectral partitioner raises this when the Lanczos / RQI eigensolver
+    stagnates — mirroring Chaco's failure on the small-world instance in
+    Table 1 of the paper.
+    """
+
+
+class PartitioningError(SnapError):
+    """Raised when a partitioner cannot produce a valid partition."""
+
+
+class ClusteringError(SnapError):
+    """Raised when a community-detection algorithm cannot proceed."""

@@ -1,0 +1,37 @@
+"""Synthetic graph generators for the paper's experiment families.
+
+* :func:`~repro.generators.rmat.rmat` — the R-MAT recursive-matrix
+  generator behind the RMAT-SF instance of Table 3 / Figure 2;
+* :func:`~repro.generators.smallworld.watts_strogatz` — the classic
+  small-world model [40];
+* :mod:`~repro.generators.random_graphs` — sparse G(n, m), Chung–Lu
+  power-law, and Barabási–Albert preferential attachment;
+* :func:`~repro.generators.road.road_network` — nearly-Euclidean
+  geometric graphs standing in for Table 1's "Physical (road)" family;
+* :func:`~repro.generators.planted.planted_partition` — community-
+  structured benchmarks with known ground truth.
+"""
+
+from repro.generators.rmat import rmat
+from repro.generators.smallworld import watts_strogatz
+from repro.generators.random_graphs import (
+    gnm_random,
+    chung_lu,
+    barabasi_albert,
+    power_law_degrees,
+)
+from repro.generators.road import road_network, grid_graph
+from repro.generators.planted import planted_partition, PlantedPartition
+
+__all__ = [
+    "rmat",
+    "watts_strogatz",
+    "gnm_random",
+    "chung_lu",
+    "barabasi_albert",
+    "power_law_degrees",
+    "road_network",
+    "grid_graph",
+    "planted_partition",
+    "PlantedPartition",
+]

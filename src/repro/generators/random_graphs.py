@@ -1,0 +1,162 @@
+"""Random graph families: sparse G(n, m), power-law models.
+
+* :func:`gnm_random` — the "Sparse random" instance of Table 1;
+* :func:`chung_lu` — random graph with an expected power-law degree
+  sequence (vectorized endpoint sampling);
+* :func:`barabasi_albert` — preferential attachment, growing hubs the
+  way citation/web graphs do;
+* :func:`power_law_degrees` — a discrete Zipf-ish degree sequence
+  helper shared by the surrogates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph import builder
+from repro.graph.csr import Graph, VERTEX_DTYPE
+
+
+def gnm_random(
+    n: int,
+    m: int,
+    *,
+    directed: bool = False,
+    rng: Optional[np.random.Generator] = None,
+) -> Graph:
+    """Uniform simple graph with ``n`` vertices and ``m`` edges.
+
+    Vectorized rejection sampling: draw batches of endpoint pairs, drop
+    self-loops/duplicates, repeat until ``m`` distinct edges exist.
+    """
+    if n < 0 or m < 0:
+        raise ValueError("n and m must be non-negative")
+    cap = n * (n - 1) // (1 if directed else 2)
+    if m > cap:
+        raise ValueError(f"m={m} exceeds the simple-graph maximum {cap}")
+    rng = rng or np.random.default_rng(0)
+    chosen: set[int] = set()
+    src_parts, dst_parts = [], []
+    need = m
+    while need > 0:
+        batch = max(64, int(need * 1.3))
+        u = rng.integers(0, n, size=batch, dtype=VERTEX_DTYPE)
+        v = rng.integers(0, n, size=batch, dtype=VERTEX_DTYPE)
+        ok = u != v
+        u, v = u[ok], v[ok]
+        if not directed:
+            u, v = np.minimum(u, v), np.maximum(u, v)
+        keys = (u * n + v).tolist()
+        for i, key in enumerate(keys):
+            if key not in chosen:
+                chosen.add(key)
+                src_parts.append(int(u[i]))
+                dst_parts.append(int(v[i]))
+                need -= 1
+                if need == 0:
+                    break
+    return builder.from_edge_array(
+        n,
+        np.asarray(src_parts, dtype=VERTEX_DTYPE),
+        np.asarray(dst_parts, dtype=VERTEX_DTYPE),
+        directed=directed,
+        dedupe=False,
+    )
+
+
+def power_law_degrees(
+    n: int,
+    exponent: float = 2.5,
+    *,
+    min_degree: int = 1,
+    max_degree: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Sample a discrete power-law degree sequence P(k) ∝ k^-exponent."""
+    if exponent <= 1.0:
+        raise ValueError("exponent must exceed 1")
+    rng = rng or np.random.default_rng(0)
+    max_degree = max_degree or max(min_degree + 1, int(np.sqrt(n) * 4))
+    ks = np.arange(min_degree, max_degree + 1, dtype=np.float64)
+    p = ks**-exponent
+    p /= p.sum()
+    return rng.choice(
+        np.arange(min_degree, max_degree + 1), size=n, p=p
+    ).astype(np.int64)
+
+
+def chung_lu(
+    degrees: np.ndarray,
+    *,
+    rng: Optional[np.random.Generator] = None,
+) -> Graph:
+    """Chung–Lu random graph: P(u~v) ∝ w_u · w_v for target degrees w.
+
+    Edges are sampled by drawing ``Σw/2`` endpoint pairs from the
+    degree-weighted distribution; duplicates collapse, so realized
+    degrees track (not equal) the targets — standard for the model.
+    """
+    w = np.asarray(degrees, dtype=np.float64)
+    if w.ndim != 1 or w.shape[0] == 0:
+        raise ValueError("degrees must be a non-empty 1-D array")
+    if np.any(w < 0):
+        raise ValueError("degrees must be non-negative")
+    rng = rng or np.random.default_rng(0)
+    n = w.shape[0]
+    total = w.sum()
+    if total == 0:
+        return builder.from_edge_array(
+            n, np.empty(0, dtype=VERTEX_DTYPE), np.empty(0, dtype=VERTEX_DTYPE)
+        )
+    m = int(total / 2)
+    p = w / total
+    src = rng.choice(n, size=m, p=p).astype(VERTEX_DTYPE)
+    dst = rng.choice(n, size=m, p=p).astype(VERTEX_DTYPE)
+    return builder.from_edge_array(n, src, dst, directed=False, dedupe=True)
+
+
+def barabasi_albert(
+    n: int,
+    m_per_node: int,
+    *,
+    rng: Optional[np.random.Generator] = None,
+) -> Graph:
+    """Barabási–Albert preferential attachment.
+
+    Each arriving vertex attaches to ``m_per_node`` existing vertices
+    chosen proportionally to degree (the classic repeated-endpoints
+    urn).
+    """
+    if m_per_node < 1:
+        raise ValueError("m_per_node must be >= 1")
+    if n <= m_per_node:
+        raise ValueError("n must exceed m_per_node")
+    rng = rng or np.random.default_rng(0)
+    # Seed: a star over the first m_per_node + 1 vertices.
+    repeated: list[int] = []
+    src: list[int] = []
+    dst: list[int] = []
+    for v in range(1, m_per_node + 1):
+        src.append(0)
+        dst.append(v)
+        repeated.extend((0, v))
+    for v in range(m_per_node + 1, n):
+        targets: set[int] = set()
+        pool = np.asarray(repeated)
+        while len(targets) < m_per_node:
+            t = int(pool[rng.integers(0, pool.shape[0])])
+            if t != v:
+                targets.add(t)
+        for t in targets:
+            src.append(v)
+            dst.append(t)
+            repeated.extend((v, t))
+    return builder.from_edge_array(
+        n,
+        np.asarray(src, dtype=VERTEX_DTYPE),
+        np.asarray(dst, dtype=VERTEX_DTYPE),
+        directed=False,
+        dedupe=True,
+    )

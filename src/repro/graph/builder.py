@@ -1,0 +1,278 @@
+"""Construction of CSR graphs from edge lists and other sources.
+
+The builders perform the one-time costs (validation, self-loop removal,
+deduplication, adjacency sorting, arc→edge-id mapping) so that
+:class:`repro.graph.csr.Graph` can stay immutable and cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import GraphStructureError
+from repro.graph.csr import EDGE_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE, Graph
+
+
+def from_edge_array(
+    n_vertices: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    *,
+    weights: Optional[np.ndarray] = None,
+    directed: bool = False,
+    dedupe: bool = True,
+    drop_self_loops: bool = True,
+) -> Graph:
+    """Build a CSR :class:`Graph` from parallel source/target arrays.
+
+    Parameters
+    ----------
+    n_vertices:
+        Number of vertices ``n``; all ids must lie in ``[0, n)``.
+    src, dst:
+        Integer arrays of equal length giving the edge endpoints.
+    weights:
+        Optional per-edge weights.  Duplicate edges keep the weight of
+        their first occurrence when ``dedupe`` is true.
+    directed:
+        Directed graphs store one arc per edge; undirected graphs store
+        two arcs sharing a canonical edge id.
+    dedupe:
+        Remove duplicate edges (and reversed duplicates for undirected
+        graphs).
+    drop_self_loops:
+        Remove ``u == v`` edges; self-loops contribute nothing to the
+        paper's kernels and complicate modularity bookkeeping.
+    """
+    n = int(n_vertices)
+    if n < 0:
+        raise GraphStructureError("n_vertices must be non-negative")
+    src = np.ascontiguousarray(src, dtype=VERTEX_DTYPE)
+    dst = np.ascontiguousarray(dst, dtype=VERTEX_DTYPE)
+    if src.shape != dst.shape or src.ndim != 1:
+        raise GraphStructureError("src and dst must be equal-length 1-D arrays")
+    if weights is not None:
+        weights = np.ascontiguousarray(weights, dtype=WEIGHT_DTYPE)
+        if weights.shape != src.shape:
+            raise GraphStructureError("weights must align with src/dst")
+    if src.shape[0]:
+        lo = min(int(src.min()), int(dst.min()))
+        hi = max(int(src.max()), int(dst.max()))
+        if lo < 0 or hi >= n:
+            raise GraphStructureError(
+                f"edge endpoint out of range [0, {n}): saw [{lo}, {hi}]"
+            )
+
+    if drop_self_loops and src.shape[0]:
+        keep = src != dst
+        if not keep.all():
+            src, dst = src[keep], dst[keep]
+            if weights is not None:
+                weights = weights[keep]
+
+    if directed:
+        return _build_directed(n, src, dst, weights, dedupe)
+    return _build_undirected(n, src, dst, weights, dedupe)
+
+
+def _build_directed(
+    n: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: Optional[np.ndarray],
+    dedupe: bool,
+) -> Graph:
+    if dedupe and src.shape[0]:
+        key = src * n + dst
+        _, first = np.unique(key, return_index=True)
+        first.sort()
+        src, dst = src[first], dst[first]
+        if weights is not None:
+            weights = weights[first]
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    if weights is not None:
+        weights = weights[order]
+    offsets = np.zeros(n + 1, dtype=EDGE_DTYPE)
+    np.cumsum(np.bincount(src, minlength=n), out=offsets[1:])
+    return Graph(offsets, dst, directed=True, weights=weights, validate=False)
+
+
+def _build_undirected(
+    n: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: Optional[np.ndarray],
+    dedupe: bool,
+) -> Graph:
+    # Canonicalize endpoints so (u, v) and (v, u) collide.
+    u = np.minimum(src, dst)
+    v = np.maximum(src, dst)
+    if dedupe and u.shape[0]:
+        key = u * n + v
+        _, first = np.unique(key, return_index=True)
+        first.sort()
+        u, v = u[first], v[first]
+        if weights is not None:
+            weights = weights[first]
+    m = u.shape[0]
+    edge_ids = np.arange(m, dtype=EDGE_DTYPE)
+    # Materialize both arc directions.
+    arc_src = np.concatenate([u, v])
+    arc_dst = np.concatenate([v, u])
+    arc_eid = np.concatenate([edge_ids, edge_ids])
+    arc_w = None if weights is None else np.concatenate([weights, weights])
+    order = np.lexsort((arc_dst, arc_src))
+    arc_src, arc_dst, arc_eid = arc_src[order], arc_dst[order], arc_eid[order]
+    if arc_w is not None:
+        arc_w = arc_w[order]
+    offsets = np.zeros(n + 1, dtype=EDGE_DTYPE)
+    np.cumsum(np.bincount(arc_src, minlength=n), out=offsets[1:])
+    return Graph(
+        offsets,
+        arc_dst,
+        directed=False,
+        weights=arc_w,
+        arc_edge_ids=arc_eid,
+        n_edges=m,
+        validate=False,
+    )
+
+
+def from_edge_list(
+    edges: Iterable[tuple[int, int] | tuple[int, int, float]],
+    *,
+    n_vertices: Optional[int] = None,
+    directed: bool = False,
+    dedupe: bool = True,
+) -> Graph:
+    """Build a graph from an iterable of ``(u, v)`` or ``(u, v, w)`` tuples.
+
+    ``n_vertices`` defaults to ``max id + 1``.
+    """
+    rows = list(edges)
+    if not rows:
+        return from_edge_array(
+            n_vertices or 0,
+            np.empty(0, dtype=VERTEX_DTYPE),
+            np.empty(0, dtype=VERTEX_DTYPE),
+            directed=directed,
+        )
+    has_w = len(rows[0]) == 3
+    src = np.fromiter((r[0] for r in rows), dtype=VERTEX_DTYPE, count=len(rows))
+    dst = np.fromiter((r[1] for r in rows), dtype=VERTEX_DTYPE, count=len(rows))
+    w = (
+        np.fromiter((r[2] for r in rows), dtype=WEIGHT_DTYPE, count=len(rows))
+        if has_w
+        else None
+    )
+    if n_vertices is None:
+        n_vertices = int(max(src.max(), dst.max())) + 1
+    return from_edge_array(
+        n_vertices, src, dst, weights=w, directed=directed, dedupe=dedupe
+    )
+
+
+def induced_subgraph(
+    graph: Graph, vertices: Sequence[int] | np.ndarray
+) -> tuple[Graph, np.ndarray]:
+    """Subgraph induced by ``vertices``.
+
+    Returns ``(subgraph, original_ids)`` where ``original_ids[i]`` is the
+    vertex of ``graph`` that became vertex ``i`` of the subgraph.  Used by
+    pBD/pLA when switching to coarse-grained per-component processing.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=VERTEX_DTYPE))
+    if vertices.shape[0] and (
+        vertices[0] < 0 or vertices[-1] >= graph.n_vertices
+    ):
+        raise GraphStructureError("subgraph vertex out of range")
+    remap = np.full(graph.n_vertices, -1, dtype=VERTEX_DTYPE)
+    remap[vertices] = np.arange(vertices.shape[0], dtype=VERTEX_DTYPE)
+    src = graph.arc_sources()
+    keep = (remap[src] >= 0) & (remap[graph.targets] >= 0)
+    if not graph.directed:
+        keep &= src <= graph.targets  # one arc per edge
+    s, d = remap[src[keep]], remap[graph.targets[keep]]
+    w = None if graph.weights is None else graph.weights[keep]
+    sub = from_edge_array(
+        vertices.shape[0], s, d, weights=w, directed=graph.directed, dedupe=False
+    )
+    return sub, vertices
+
+
+def compress_vertices(graph: Graph, labels: np.ndarray) -> Graph:
+    """Contract vertices with equal ``labels`` into super-vertices.
+
+    Parallel edges are merged and their weights summed; resulting
+    self-loops are dropped.  Used by the multilevel partitioner's
+    coarsening and by pLA's cluster amalgamation.
+    """
+    labels = np.asarray(labels, dtype=VERTEX_DTYPE)
+    if labels.shape[0] != graph.n_vertices:
+        raise GraphStructureError("labels must have one entry per vertex")
+    uniq, dense = np.unique(labels, return_inverse=True)
+    k = uniq.shape[0]
+    src = dense[graph.arc_sources()]
+    dst = dense[graph.targets]
+    w = graph.weights
+    if w is None:
+        w = np.ones(graph.n_arcs, dtype=WEIGHT_DTYPE)
+    if not graph.directed:
+        keep = src <= dst
+        src, dst, w = src[keep], dst[keep], w[keep]
+    loop = src == dst
+    src, dst, w = src[~loop], dst[~loop], w[~loop]
+    if src.shape[0] == 0:
+        return from_edge_array(k, src, dst, directed=graph.directed)
+    # Merge parallel edges, summing weights.
+    key = src * k + dst
+    order = np.argsort(key, kind="stable")
+    key, src, dst, w = key[order], src[order], dst[order], w[order]
+    boundary = np.empty(key.shape[0], dtype=bool)
+    boundary[0] = True
+    np.not_equal(key[1:], key[:-1], out=boundary[1:])
+    group = np.cumsum(boundary) - 1
+    merged_w = np.bincount(group, weights=w)
+    return from_edge_array(
+        k,
+        src[boundary],
+        dst[boundary],
+        weights=merged_w,
+        directed=graph.directed,
+        dedupe=False,
+    )
+
+
+def from_networkx(nx_graph) -> Graph:
+    """Convert a ``networkx`` graph (test/interop convenience).
+
+    Vertices are relabelled to ``0..n-1`` in iteration order; ``weight``
+    edge attributes are preserved when present on every edge.
+    """
+    nodes = list(nx_graph.nodes())
+    index = {u: i for i, u in enumerate(nodes)}
+    edges = list(nx_graph.edges(data=True))
+    src = np.fromiter((index[e[0]] for e in edges), dtype=VERTEX_DTYPE, count=len(edges))
+    dst = np.fromiter((index[e[1]] for e in edges), dtype=VERTEX_DTYPE, count=len(edges))
+    if edges and all("weight" in e[2] for e in edges):
+        w = np.fromiter((e[2]["weight"] for e in edges), dtype=WEIGHT_DTYPE, count=len(edges))
+    else:
+        w = None
+    return from_edge_array(
+        len(nodes), src, dst, weights=w, directed=nx_graph.is_directed()
+    )
+
+
+def to_networkx(graph: Graph):
+    """Convert to a ``networkx`` graph (test/interop convenience)."""
+    import networkx as nx
+
+    g = nx.DiGraph() if graph.directed else nx.Graph()
+    g.add_nodes_from(range(graph.n_vertices))
+    u, v = graph.edge_endpoints()
+    w = graph.edge_weights()
+    g.add_weighted_edges_from(zip(u.tolist(), v.tolist(), w.tolist()))
+    return g

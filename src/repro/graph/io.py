@@ -1,0 +1,269 @@
+"""Graph file formats: edge list, METIS, DIMACS, and binary ``.npz``.
+
+SNAP ships converters for the common exchange formats of its era; this
+module provides the same surface.  All readers return CSR
+:class:`~repro.graph.csr.Graph` objects; all writers accept them.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Optional, TextIO
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import VERTEX_DTYPE, WEIGHT_DTYPE, Graph
+from repro.graph import builder
+
+
+def _open_text(path_or_file, mode: str):
+    if isinstance(path_or_file, (str, os.PathLike)):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+# ---------------------------------------------------------------------------
+# Plain edge lists:  "u v [w]" per line, '#' or '%' comments.
+# ---------------------------------------------------------------------------
+def read_edge_list(
+    path_or_file,
+    *,
+    directed: bool = False,
+    n_vertices: Optional[int] = None,
+) -> Graph:
+    """Read a whitespace-separated edge list.
+
+    Lines starting with ``#`` or ``%`` are comments.  A third column, if
+    present on every edge line, is interpreted as the edge weight.
+    """
+    f, should_close = _open_text(path_or_file, "r")
+    try:
+        src, dst, wgt = [], [], []
+        saw_weight = None
+        for lineno, line in enumerate(f, 1):
+            s = line.strip()
+            if not s or s[0] in "#%":
+                continue
+            parts = s.split()
+            if len(parts) < 2:
+                raise GraphFormatError(f"line {lineno}: expected 'u v [w]'")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphFormatError(f"line {lineno}: bad vertex id") from exc
+            w = None
+            if len(parts) >= 3:
+                try:
+                    w = float(parts[2])
+                except ValueError as exc:
+                    raise GraphFormatError(f"line {lineno}: bad weight") from exc
+            if saw_weight is None:
+                saw_weight = w is not None
+            elif saw_weight != (w is not None):
+                raise GraphFormatError(
+                    f"line {lineno}: inconsistent weight columns"
+                )
+            src.append(u)
+            dst.append(v)
+            if w is not None:
+                wgt.append(w)
+    finally:
+        if should_close:
+            f.close()
+    src_a = np.asarray(src, dtype=VERTEX_DTYPE)
+    dst_a = np.asarray(dst, dtype=VERTEX_DTYPE)
+    w_a = np.asarray(wgt, dtype=WEIGHT_DTYPE) if saw_weight else None
+    if n_vertices is None:
+        n_vertices = int(max(src_a.max(), dst_a.max())) + 1 if src_a.shape[0] else 0
+    return builder.from_edge_array(
+        n_vertices, src_a, dst_a, weights=w_a, directed=directed
+    )
+
+
+def write_edge_list(graph: Graph, path_or_file) -> None:
+    """Write the canonical edge list (one ``u v [w]`` line per edge)."""
+    f, should_close = _open_text(path_or_file, "w")
+    try:
+        u, v = graph.edge_endpoints()
+        if graph.is_weighted:
+            w = graph.edge_weights()
+            for i in range(graph.n_edges):
+                f.write(f"{int(u[i])} {int(v[i])} {w[i]:g}\n")
+        else:
+            for i in range(graph.n_edges):
+                f.write(f"{int(u[i])} {int(v[i])}\n")
+    finally:
+        if should_close:
+            f.close()
+
+
+# ---------------------------------------------------------------------------
+# METIS format: header "n m [fmt]", then line i = neighbors of vertex i
+# (1-indexed), optionally interleaved with weights when fmt == "1".
+# ---------------------------------------------------------------------------
+def read_metis(path_or_file) -> Graph:
+    """Read a graph in METIS ``.graph`` format (undirected)."""
+    f, should_close = _open_text(path_or_file, "r")
+    try:
+        lines = [
+            ln.strip()
+            for ln in f
+            if ln.strip() and not ln.lstrip().startswith("%")
+        ]
+    finally:
+        if should_close:
+            f.close()
+    if not lines:
+        raise GraphFormatError("empty METIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise GraphFormatError("METIS header must be 'n m [fmt]'")
+    n, m = int(header[0]), int(header[1])
+    fmt = header[2] if len(header) > 2 else "0"
+    has_ewgt = fmt.endswith("1") and len(fmt) <= 2  # "1" or "01"/"11"
+    if len(lines) - 1 != n:
+        raise GraphFormatError(
+            f"METIS body has {len(lines) - 1} vertex lines, expected {n}"
+        )
+    src, dst, wgt = [], [], []
+    for u, line in enumerate(lines[1:]):
+        tokens = line.split()
+        step = 2 if has_ewgt else 1
+        if has_ewgt and len(tokens) % 2:
+            raise GraphFormatError(f"vertex {u + 1}: odd token count with edge weights")
+        for i in range(0, len(tokens), step):
+            v = int(tokens[i]) - 1  # METIS is 1-indexed
+            if not 0 <= v < n:
+                raise GraphFormatError(f"vertex {u + 1}: neighbor {v + 1} out of range")
+            src.append(u)
+            dst.append(v)
+            if has_ewgt:
+                wgt.append(float(tokens[i + 1]))
+    g = builder.from_edge_array(
+        n,
+        np.asarray(src, dtype=VERTEX_DTYPE),
+        np.asarray(dst, dtype=VERTEX_DTYPE),
+        weights=np.asarray(wgt, dtype=WEIGHT_DTYPE) if has_ewgt else None,
+        directed=False,
+    )
+    if g.n_edges != m:
+        raise GraphFormatError(
+            f"METIS header declares m={m} but body contains {g.n_edges} unique edges"
+        )
+    return g
+
+
+def write_metis(graph: Graph, path_or_file) -> None:
+    """Write an undirected graph in METIS ``.graph`` format."""
+    if graph.directed:
+        raise GraphFormatError("METIS format is undirected")
+    f, should_close = _open_text(path_or_file, "w")
+    try:
+        fmt = " 1" if graph.is_weighted else ""
+        f.write(f"{graph.n_vertices} {graph.n_edges}{fmt}\n")
+        for u in range(graph.n_vertices):
+            adj = graph.neighbors(u)
+            if graph.is_weighted:
+                w = graph.neighbor_weights(u)
+                f.write(
+                    " ".join(f"{int(t) + 1} {x:g}" for t, x in zip(adj, w)) + "\n"
+                )
+            else:
+                f.write(" ".join(str(int(t) + 1) for t in adj) + "\n")
+    finally:
+        if should_close:
+            f.close()
+
+
+# ---------------------------------------------------------------------------
+# DIMACS format: "p sp n m" / "a u v w" (1-indexed, directed arcs).
+# ---------------------------------------------------------------------------
+def read_dimacs(path_or_file, *, directed: bool = True) -> Graph:
+    """Read a 9th-DIMACS-challenge shortest-path graph file."""
+    f, should_close = _open_text(path_or_file, "r")
+    try:
+        n = None
+        src, dst, wgt = [], [], []
+        for lineno, line in enumerate(f, 1):
+            s = line.strip()
+            if not s or s[0] == "c":
+                continue
+            parts = s.split()
+            if parts[0] == "p":
+                if len(parts) != 4:
+                    raise GraphFormatError(f"line {lineno}: bad problem line")
+                n = int(parts[2])
+            elif parts[0] == "a":
+                if n is None:
+                    raise GraphFormatError(f"line {lineno}: arc before problem line")
+                if len(parts) != 4:
+                    raise GraphFormatError(f"line {lineno}: bad arc line")
+                src.append(int(parts[1]) - 1)
+                dst.append(int(parts[2]) - 1)
+                wgt.append(float(parts[3]))
+            else:
+                raise GraphFormatError(f"line {lineno}: unknown record {parts[0]!r}")
+    finally:
+        if should_close:
+            f.close()
+    if n is None:
+        raise GraphFormatError("missing DIMACS problem line")
+    return builder.from_edge_array(
+        n,
+        np.asarray(src, dtype=VERTEX_DTYPE),
+        np.asarray(dst, dtype=VERTEX_DTYPE),
+        weights=np.asarray(wgt, dtype=WEIGHT_DTYPE),
+        directed=directed,
+    )
+
+
+def write_dimacs(graph: Graph, path_or_file) -> None:
+    """Write a graph as DIMACS shortest-path arcs (both arcs if undirected)."""
+    f, should_close = _open_text(path_or_file, "w")
+    try:
+        u, v = graph.edge_endpoints()
+        w = graph.edge_weights()
+        arcs = graph.n_edges if graph.directed else 2 * graph.n_edges
+        f.write(f"p sp {graph.n_vertices} {arcs}\n")
+        for i in range(graph.n_edges):
+            f.write(f"a {int(u[i]) + 1} {int(v[i]) + 1} {w[i]:g}\n")
+            if not graph.directed:
+                f.write(f"a {int(v[i]) + 1} {int(u[i]) + 1} {w[i]:g}\n")
+    finally:
+        if should_close:
+            f.close()
+
+
+# ---------------------------------------------------------------------------
+# Binary snapshot: .npz with the raw CSR arrays (fast, lossless).
+# ---------------------------------------------------------------------------
+def save_npz(graph: Graph, path) -> None:
+    """Save the CSR arrays losslessly to a NumPy ``.npz`` archive."""
+    payload = {
+        "offsets": graph.offsets,
+        "targets": graph.targets,
+        "directed": np.asarray([graph.directed]),
+        "n_edges": np.asarray([graph.n_edges]),
+        "arc_edge_ids": graph.arc_edge_ids,
+    }
+    if graph.weights is not None:
+        payload["weights"] = graph.weights
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path) -> Graph:
+    """Load a graph saved by :func:`save_npz`."""
+    with np.load(path) as data:
+        try:
+            return Graph(
+                data["offsets"],
+                data["targets"],
+                directed=bool(data["directed"][0]),
+                weights=data["weights"] if "weights" in data else None,
+                arc_edge_ids=np.ascontiguousarray(data["arc_edge_ids"]),
+                n_edges=int(data["n_edges"][0]),
+            )
+        except KeyError as exc:
+            raise GraphFormatError(f"missing array in npz: {exc}") from exc

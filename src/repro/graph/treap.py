@@ -1,0 +1,251 @@
+"""Treaps — randomized search trees (Seidel & Aragon [39]).
+
+The paper's hybrid adjacency representation stores the adjacency of
+high-degree vertices in treaps, which support O(log n) expected insert,
+delete and search, plus efficient split/join and the set-algebraic
+operations (union, intersection, difference) used by graph-update and
+neighbourhood-query workloads.
+
+This implementation stores integer keys (target vertex ids) with an
+optional payload (edge weight).  Priorities come from a per-treap
+deterministic PRNG so tests are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+class _Node:
+    __slots__ = ("key", "value", "priority", "left", "right", "size")
+
+    def __init__(self, key: int, value: float, priority: float) -> None:
+        self.key = key
+        self.value = value
+        self.priority = priority
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.size = 1
+
+
+def _size(node: Optional[_Node]) -> int:
+    return node.size if node is not None else 0
+
+
+def _update(node: _Node) -> _Node:
+    node.size = 1 + _size(node.left) + _size(node.right)
+    return node
+
+
+def _split(node: Optional[_Node], key: int) -> tuple[Optional[_Node], Optional[_Node]]:
+    """Split into (< key, >= key) subtreaps."""
+    if node is None:
+        return None, None
+    if node.key < key:
+        left, right = _split(node.right, key)
+        node.right = left
+        return _update(node), right
+    left, right = _split(node.left, key)
+    node.left = right
+    return left, _update(node)
+
+
+def _join(left: Optional[_Node], right: Optional[_Node]) -> Optional[_Node]:
+    """Join two treaps where every key of ``left`` < every key of ``right``."""
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if left.priority > right.priority:
+        left.right = _join(left.right, right)
+        return _update(left)
+    right.left = _join(left, right.left)
+    return _update(right)
+
+
+def _union(a: Optional[_Node], b: Optional[_Node]) -> Optional[_Node]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a.priority < b.priority:
+        a, b = b, a
+    b_left, b_rest = _split(b, a.key)
+    # Drop a duplicate of a.key from b_rest if present.
+    b_dup, b_right = _split(b_rest, a.key + 1)
+    del b_dup  # a's value wins on duplicates
+    a.left = _union(a.left, b_left)
+    a.right = _union(a.right, b_right)
+    return _update(a)
+
+
+class Treap:
+    """An ordered map from integer keys to float values.
+
+    Supports the operations the paper lists for high-degree adjacency
+    management: fast insertion, deletion, searching, joining and
+    splitting, and parallel-friendly set operations (union,
+    intersection, difference).
+    """
+
+    def __init__(self, seed: int = 0x5EED) -> None:
+        self._root: Optional[_Node] = None
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return _size(self._root)
+
+    def __contains__(self, key: int) -> bool:
+        return self.search(key) is not None
+
+    def __iter__(self) -> Iterator[int]:
+        yield from (k for k, _ in self.items())
+
+    def items(self) -> Iterator[tuple[int, float]]:
+        """In-order (sorted by key) iteration of ``(key, value)`` pairs."""
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys_array(self) -> np.ndarray:
+        """Sorted keys as an int64 array."""
+        return np.fromiter((k for k, _ in self.items()), dtype=np.int64, count=len(self))
+
+    # ------------------------------------------------------------------
+    def search(self, key: int) -> Optional[float]:
+        """Value stored at ``key``, or ``None``."""
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node.value
+            node = node.left if key < node.key else node.right
+        return None
+
+    def insert(self, key: int, value: float = 1.0) -> bool:
+        """Insert (or overwrite) ``key``.  Returns True if newly inserted."""
+        if self.search(key) is not None:
+            self._assign(key, value)
+            return False
+        node = _Node(key, value, float(self._rng.random()))
+        left, right = _split(self._root, key)
+        self._root = _join(_join(left, node), right)
+        return True
+
+    def _assign(self, key: int, value: float) -> None:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                node.value = value
+                return
+            node = node.left if key < node.key else node.right
+
+    def delete(self, key: int) -> bool:
+        """Delete ``key`` if present.  Returns True if it was present."""
+        self._root, removed = self._delete(self._root, key)
+        return removed
+
+    @staticmethod
+    def _delete(node: Optional[_Node], key: int) -> tuple[Optional[_Node], bool]:
+        if node is None:
+            return None, False
+        if key == node.key:
+            return _join(node.left, node.right), True
+        if key < node.key:
+            node.left, removed = Treap._delete(node.left, key)
+        else:
+            node.right, removed = Treap._delete(node.right, key)
+        return _update(node), removed
+
+    # ------------------------------------------------------------------
+    def split(self, key: int) -> tuple["Treap", "Treap"]:
+        """Split into treaps with keys ``< key`` and ``>= key``.
+
+        This treap is emptied; node ownership moves to the results.
+        """
+        left, right = _split(self._root, key)
+        self._root = None
+        a, b = Treap(), Treap()
+        a._root, b._root = left, right
+        return a, b
+
+    def join(self, other: "Treap") -> "Treap":
+        """Concatenate with ``other`` (all our keys must be smaller)."""
+        if self._root is not None and other._root is not None:
+            if self.max_key() >= other.min_key():
+                raise ValueError("join requires disjoint, ordered key ranges")
+        out = Treap()
+        out._root = _join(self._root, other._root)
+        self._root = other._root = None
+        return out
+
+    def union(self, other: "Treap") -> "Treap":
+        """Set union (destructive on both operands); our values win ties."""
+        out = Treap()
+        out._root = _union(self._root, other._root)
+        self._root = other._root = None
+        return out
+
+    def intersection(self, other: "Treap") -> "Treap":
+        """Non-destructive set intersection (values from ``self``)."""
+        out = Treap()
+        for k, v in self.items():
+            if k in other:
+                out.insert(k, v)
+        return out
+
+    def difference(self, other: "Treap") -> "Treap":
+        """Non-destructive set difference ``self - other``."""
+        out = Treap()
+        for k, v in self.items():
+            if k not in other:
+                out.insert(k, v)
+        return out
+
+    # ------------------------------------------------------------------
+    def min_key(self) -> int:
+        node = self._root
+        if node is None:
+            raise KeyError("empty treap")
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def max_key(self) -> int:
+        node = self._root
+        if node is None:
+            raise KeyError("empty treap")
+        while node.right is not None:
+            node = node.right
+        return node.key
+
+    def check_invariants(self) -> None:
+        """Assert BST key order, heap priority order and size counts."""
+        def rec(node: Optional[_Node]) -> tuple[int, Optional[int], Optional[int]]:
+            if node is None:
+                return 0, None, None
+            ls, lmin, lmax = rec(node.left)
+            rs, rmin, rmax = rec(node.right)
+            if lmax is not None and lmax >= node.key:
+                raise AssertionError("BST order violated (left)")
+            if rmin is not None and rmin <= node.key:
+                raise AssertionError("BST order violated (right)")
+            if node.left is not None and node.left.priority > node.priority:
+                raise AssertionError("heap order violated (left)")
+            if node.right is not None and node.right.priority > node.priority:
+                raise AssertionError("heap order violated (right)")
+            if node.size != 1 + ls + rs:
+                raise AssertionError("size bookkeeping violated")
+            return node.size, lmin if lmin is not None else node.key, (
+                rmax if rmax is not None else node.key
+            )
+
+        rec(self._root)

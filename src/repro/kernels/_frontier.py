@@ -1,0 +1,69 @@
+"""Vectorized CSR frontier expansion shared by the traversal kernels.
+
+``expand`` gathers the adjacency of an entire frontier in O(frontier
+arcs) NumPy work — the inner step of level-synchronous traversal
+(paper §3) — and is where the :class:`EdgeSubsetView` edge mask is
+applied for divisive clustering.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.graph.csr import EdgeSubsetView, Graph
+
+
+GraphLike = Union[Graph, EdgeSubsetView]
+
+
+def unwrap(g: GraphLike) -> tuple[Graph, Optional[np.ndarray]]:
+    """Split a graph-or-view into ``(graph, edge_active_mask_or_None)``."""
+    if isinstance(g, EdgeSubsetView):
+        return g.graph, g.active
+    return g, None
+
+
+def frontier_arc_indices(graph: Graph, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Arc indices and degree counts for a frontier of vertices.
+
+    Returns ``(arc_idx, degs)`` where ``arc_idx`` concatenates every
+    frontier vertex's arc-index range (so ``targets[arc_idx]`` is the
+    multiset of candidate neighbors) and ``degs[i]`` is the degree of
+    ``frontier[i]`` (useful for attributing arcs back to sources via
+    ``np.repeat(frontier, degs)``).
+    """
+    starts = graph.offsets[frontier]
+    ends = graph.offsets[frontier + 1]
+    degs = ends - starts
+    total = int(degs.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), degs
+    # Standard CSR multi-slice gather: a single arange shifted per segment.
+    shifts = np.repeat(starts - np.concatenate(([0], np.cumsum(degs)[:-1])), degs)
+    arc_idx = np.arange(total, dtype=np.int64) + shifts
+    return arc_idx, degs
+
+
+def expand(
+    graph: Graph,
+    frontier: np.ndarray,
+    edge_active: Optional[np.ndarray] = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand a frontier into candidate arcs.
+
+    Returns ``(sources, targets, arc_idx)`` filtered by the optional
+    edge-activity mask.  ``sources[i]`` is the frontier vertex whose arc
+    ``arc_idx[i]`` points at ``targets[i]``.
+    """
+    arc_idx, degs = frontier_arc_indices(graph, frontier)
+    if arc_idx.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, arc_idx
+    sources = np.repeat(frontier, degs)
+    targets = graph.targets[arc_idx]
+    if edge_active is not None:
+        keep = edge_active[graph.arc_edge_ids[arc_idx]]
+        return sources[keep], targets[keep], arc_idx[keep]
+    return sources, targets, arc_idx

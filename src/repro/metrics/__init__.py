@@ -1,0 +1,61 @@
+"""Network analysis metrics and preprocessing routines (paper §3).
+
+"SNAP supports fast computation of simple as well as novel SNA metrics,
+such as average vertex degree, clustering coefficient, average shortest
+path length, rich-club coefficient, and assortativity" — plus the
+preprocessing kernels (component decomposition, articulation screen)
+that "combined together potentially offer an order of magnitude speedup
+or more for key analysis kernels".
+"""
+
+from repro.metrics.basic import (
+    average_degree,
+    degree_distribution,
+    degree_histogram,
+    density,
+)
+from repro.metrics.clustering import (
+    local_clustering_coefficients,
+    average_clustering,
+    global_clustering_coefficient,
+    triangle_counts,
+)
+from repro.metrics.paths import (
+    average_shortest_path_length,
+    effective_diameter,
+    eccentricity_sample,
+)
+from repro.metrics.richclub import rich_club_coefficient
+from repro.metrics.assortativity import (
+    degree_assortativity,
+    average_neighbor_degree,
+    neighbor_connectivity,
+)
+from repro.metrics.preprocess import (
+    PreprocessReport,
+    preprocess,
+    lethality_screen,
+    is_bipartite,
+)
+
+__all__ = [
+    "average_degree",
+    "degree_distribution",
+    "degree_histogram",
+    "density",
+    "local_clustering_coefficients",
+    "average_clustering",
+    "global_clustering_coefficient",
+    "triangle_counts",
+    "average_shortest_path_length",
+    "effective_diameter",
+    "eccentricity_sample",
+    "rich_club_coefficient",
+    "degree_assortativity",
+    "average_neighbor_degree",
+    "neighbor_connectivity",
+    "PreprocessReport",
+    "preprocess",
+    "lethality_screen",
+    "is_bipartite",
+]

@@ -1,0 +1,105 @@
+"""Clustering coefficients via vectorized triangle counting.
+
+Triangles are counted by sorted-adjacency intersection: for each arc
+``(u, v)`` with ``u < v``, ``|N(u) ∩ N(v)|`` is accumulated onto both
+endpoints.  The CSR invariant (adjacency slices sorted) makes each
+intersection an ``O(d_u + d_v)`` merge performed by
+``np.intersect1d`` — no hashing, cache-friendly, per the hpc guides.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphStructureError
+from repro.kernels._frontier import GraphLike, unwrap
+from repro.parallel.runtime import ParallelContext, ensure_context
+
+
+def triangle_counts(
+    g: GraphLike, *, ctx: Optional[ParallelContext] = None
+) -> np.ndarray:
+    """Number of triangles through each vertex."""
+    graph, edge_active = unwrap(g)
+    if graph.directed:
+        raise GraphStructureError("triangle counting requires an undirected graph")
+    ctx = ensure_context(ctx)
+    n = graph.n_vertices
+    tri = np.zeros(n, dtype=np.int64)
+    if graph.n_edges == 0:
+        return tri
+
+    def neigh(v: int) -> np.ndarray:
+        if edge_active is None:
+            return graph.neighbors(v)
+        lo, hi = graph.arc_range(v)
+        mask = edge_active[graph.arc_edge_ids[lo:hi]]
+        return graph.targets[lo:hi][mask]
+
+    u_arr, v_arr = graph.edge_endpoints()
+    if edge_active is not None:
+        u_arr, v_arr = u_arr[edge_active], v_arr[edge_active]
+    degs = graph.degrees()
+    work = degs[u_arr] + degs[v_arr]
+    ctx.record_phase_from_work(work)
+    for i in range(u_arr.shape[0]):
+        u, v = int(u_arr[i]), int(v_arr[i])
+        common = np.intersect1d(neigh(u), neigh(v), assume_unique=True)
+        c = common.shape[0]
+        if c:
+            tri[u] += c
+            tri[v] += c
+            np.add.at(tri, common, 1)
+    # Each triangle was counted once per edge (3 edges), adding 1 to
+    # each of its 3 vertices each time → every vertex got its triangle
+    # count 3 times.
+    return tri // 3
+
+
+def local_clustering_coefficients(
+    g: GraphLike, *, ctx: Optional[ParallelContext] = None
+) -> np.ndarray:
+    """C(v) = triangles(v) / (deg(v) choose 2); 0 for degree < 2."""
+    graph, edge_active = unwrap(g)
+    tri = triangle_counts(g, ctx=ctx)
+    if edge_active is None:
+        deg = graph.degrees().astype(np.float64)
+    else:
+        keep = edge_active[graph.arc_edge_ids]
+        deg = np.bincount(
+            graph.arc_sources()[keep], minlength=graph.n_vertices
+        ).astype(np.float64)
+    pairs = deg * (deg - 1) / 2.0
+    out = np.zeros(graph.n_vertices, dtype=np.float64)
+    ok = pairs > 0
+    out[ok] = tri[ok] / pairs[ok]
+    return out
+
+
+def average_clustering(g: GraphLike, *, ctx: Optional[ParallelContext] = None) -> float:
+    """Mean of the local clustering coefficients (Watts–Strogatz C)."""
+    graph, _ = unwrap(g)
+    if graph.n_vertices == 0:
+        return 0.0
+    return float(local_clustering_coefficients(g, ctx=ctx).mean())
+
+
+def global_clustering_coefficient(
+    g: GraphLike, *, ctx: Optional[ParallelContext] = None
+) -> float:
+    """Transitivity: 3 · triangles / connected triples."""
+    graph, edge_active = unwrap(g)
+    tri = triangle_counts(g, ctx=ctx)
+    if edge_active is None:
+        deg = graph.degrees().astype(np.float64)
+    else:
+        keep = edge_active[graph.arc_edge_ids]
+        deg = np.bincount(
+            graph.arc_sources()[keep], minlength=graph.n_vertices
+        ).astype(np.float64)
+    triples = float((deg * (deg - 1) / 2.0).sum())
+    if triples == 0:
+        return 0.0
+    return float(tri.sum() / triples)

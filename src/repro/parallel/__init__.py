@@ -1,0 +1,35 @@
+"""Parallel runtime substrate: execution context, cost model, scheduling.
+
+The paper's kernels run with POSIX threads / OpenMP on a Sun Fire T2000.
+CPython's GIL (and this container's single core) make genuine
+shared-memory thread scaling impossible, so this package faithfully
+executes each kernel's *parallel decomposition* (same phases, same
+chunking, same barrier structure) while recording a PRAM-style
+work–span/synchronization profile.  :class:`~repro.parallel.costmodel.CostModel`
+turns that profile into modeled execution times for ``p`` processors,
+which is what the Figure 2/3 harnesses report (see DESIGN.md §3,
+substitution 1).
+"""
+
+from repro.parallel.costmodel import CostModel, MachineModel
+from repro.parallel.runtime import ParallelContext
+from repro.parallel.partitioner import (
+    balanced_chunks,
+    chunk_ranges,
+    imbalance_factor,
+)
+from repro.parallel.scheduler import WorkStealingScheduler, simulate_work_stealing
+from repro.parallel.sync import CountedLock, SyncCounters
+
+__all__ = [
+    "CostModel",
+    "MachineModel",
+    "ParallelContext",
+    "balanced_chunks",
+    "chunk_ranges",
+    "imbalance_factor",
+    "WorkStealingScheduler",
+    "simulate_work_stealing",
+    "CountedLock",
+    "SyncCounters",
+]

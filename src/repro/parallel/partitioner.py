@@ -1,0 +1,91 @@
+"""Degree-aware work partitioning (paper §3, load balancing).
+
+In a level-synchronous BFS where vertices are statically assigned to
+processors "without considering their degree, it is highly probable
+that there will be phases with severe work imbalance" — so SNAP first
+estimates the processing work per vertex and assigns vertices to
+processors accordingly, and visits the adjacencies of high-degree
+vertices in parallel.  These helpers implement that assignment and
+quantify the imbalance the cost model charges for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def chunk_ranges(n: int, p: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into ``p`` nearly equal contiguous ranges.
+
+    This is the *degree-oblivious* static assignment — the baseline the
+    paper improves on.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    base, extra = divmod(n, p)
+    out: list[tuple[int, int]] = []
+    start = 0
+    for i in range(p):
+        size = base + (1 if i < extra else 0)
+        out.append((start, start + size))
+        start += size
+    return out
+
+
+def balanced_chunks(work: np.ndarray, p: int) -> list[tuple[int, int]]:
+    """Split item indices into ``p`` contiguous ranges of ~equal *work*.
+
+    ``work[i]`` is the estimated processing cost of item ``i`` (e.g. its
+    degree in a frontier expansion).  Boundaries come from searching the
+    work prefix sum — the degree-aware assignment of paper §3.
+    """
+    work = np.asarray(work, dtype=np.float64)
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    n = work.shape[0]
+    if n == 0:
+        return [(0, 0)] * p
+    if np.any(work < 0):
+        raise ValueError("work estimates must be non-negative")
+    prefix = np.cumsum(work)
+    total = prefix[-1]
+    cuts = np.searchsorted(prefix, total * np.arange(1, p) / p, side="left")
+    bounds = np.concatenate([[0], np.minimum(cuts + 1, n), [n]])
+    bounds = np.maximum.accumulate(bounds)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(p)]
+
+
+def chunk_work(work: np.ndarray, chunks: list[tuple[int, int]]) -> np.ndarray:
+    """Total work per chunk."""
+    work = np.asarray(work, dtype=np.float64)
+    return np.asarray([float(work[lo:hi].sum()) for lo, hi in chunks])
+
+
+def imbalance_factor(work: np.ndarray, chunks: list[tuple[int, int]]) -> float:
+    """Max-over-mean chunk work; 1.0 is perfect balance.
+
+    This is the multiplicative slowdown a statically scheduled phase
+    suffers relative to its ideal ``W/p`` time.
+    """
+    per = chunk_work(work, chunks)
+    mean = per.mean()
+    if mean == 0:
+        return 1.0
+    return float(per.max() / mean)
+
+
+def split_heavy_items(
+    work: np.ndarray, threshold: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Partition item indices into (light, heavy) by work threshold.
+
+    Heavy items (high-degree vertices) get their adjacency visited in
+    parallel — the paper's second load-balancing lever.  Returns the two
+    index arrays.
+    """
+    work = np.asarray(work, dtype=np.float64)
+    heavy = work > threshold
+    idx = np.arange(work.shape[0])
+    return idx[~heavy], idx[heavy]

@@ -1,0 +1,182 @@
+"""Parallel execution context.
+
+A :class:`ParallelContext` is what kernels receive instead of a raw
+thread count.  It bundles
+
+* the configured worker count ``p`` (the paper sweeps 1..32 threads),
+* a :class:`~repro.parallel.costmodel.CostModel` accumulating the run's
+  work/span/sync profile,
+* :class:`~repro.parallel.sync.SyncCounters` for lock/CAS accounting,
+* chunking policy (degree-aware or oblivious — paper §3), and
+* an optional real ``ThreadPoolExecutor`` for coarse-grained task maps
+  (per-component clustering, per-source traversals), where Python-level
+  concurrency is actually well-formed even under the GIL.
+
+Kernels that take ``ctx=None`` construct a throwaway single-worker
+context, so the instrumentation is always exercised.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.parallel.costmodel import CostModel, MachineModel
+from repro.parallel.partitioner import (
+    balanced_chunks,
+    chunk_ranges,
+    imbalance_factor,
+)
+from repro.parallel.sync import CountedLock, SyncCounters
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+DEFAULT_THREAD_COUNTS = (1, 2, 4, 8, 12, 16, 24, 32)
+"""Thread counts swept by the paper's Figure 2 experiments."""
+
+
+class ParallelContext:
+    """Execution context carrying worker count and instrumentation."""
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        *,
+        degree_aware: bool = True,
+        use_threads: bool = False,
+        machine: Optional[MachineModel] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = int(n_workers)
+        self.degree_aware = bool(degree_aware)
+        self.use_threads = bool(use_threads)
+        self.cost = CostModel(machine)
+        self.sync = SyncCounters()
+
+    # ------------------------------------------------------------------
+    # Instrumentation passthroughs
+    # ------------------------------------------------------------------
+    def phase(
+        self, work: float, max_item: float = 1.0, *, flag_sync: bool = False
+    ) -> None:
+        """Record one barrier- (or flag-) separated parallel phase."""
+        self.cost.phase(work, max_item, flag_sync=flag_sync)
+        self.sync.barriers += 1
+
+    def serial(self, work: float) -> None:
+        self.cost.serial(work)
+
+    def lock(self, count: int = 1) -> None:
+        self.cost.lock(count)
+        self.sync.lock_acquisitions += count
+
+    def cas(self, count: int = 1) -> None:
+        self.cost.cas(count)
+        self.sync.cas_operations += count
+
+    def make_lock(self) -> CountedLock:
+        return CountedLock(self.sync)
+
+    @contextmanager
+    def region(self):
+        """A parallel region (charged a worker wake-up in the model)."""
+        self.cost.region()
+        yield self
+
+    # ------------------------------------------------------------------
+    # Chunking
+    # ------------------------------------------------------------------
+    def chunks_for(
+        self, n_items: int, work: Optional[np.ndarray] = None
+    ) -> list[tuple[int, int]]:
+        """Contiguous chunk ranges for the current worker count.
+
+        With ``degree_aware`` and a ``work`` estimate array, boundaries
+        equalize *work* (paper's degree-aware assignment); otherwise
+        item counts.
+        """
+        if self.degree_aware and work is not None:
+            return balanced_chunks(work, self.n_workers)
+        return chunk_ranges(n_items, self.n_workers)
+
+    def record_phase_from_work(self, work: Optional[np.ndarray]) -> None:
+        """Record a phase whose items have per-item ``work`` costs.
+
+        The phase's ``max_item`` is the largest chunk's *excess* work
+        granularity: with degree-aware chunking this is the largest
+        single item; without it, the whole largest chunk may be the
+        bottleneck, which the model captures via the imbalance factor.
+        """
+        if work is None or len(work) == 0:
+            return
+        work = np.asarray(work, dtype=np.float64)
+        total = float(work.sum())
+        if total == 0.0:
+            return
+        if self.degree_aware:
+            # Degree-aware assignment also visits the adjacencies of
+            # high-degree vertices in parallel (paper §3), so no single
+            # vertex is an indivisible work item.
+            max_item = 1.0
+        else:
+            chunks = chunk_ranges(work.shape[0], self.n_workers)
+            imb = imbalance_factor(work, chunks)
+            # An oblivious schedule behaves as if its largest indivisible
+            # item were the whole overloaded chunk's excess.
+            max_item = max(float(work.max()), (imb - 1.0) * total / self.n_workers + float(work.max()))
+        self.phase(total, max_item)
+
+    # ------------------------------------------------------------------
+    # Coarse-grained task execution
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        *,
+        costs: Optional[Sequence[float]] = None,
+    ) -> list[R]:
+        """Apply ``fn`` to every item, recording one parallel phase.
+
+        With ``use_threads`` and more than one worker, items run on a
+        real thread pool (useful when ``fn`` releases the GIL in NumPy);
+        otherwise execution is sequential and deterministic.  Either way
+        the phase is charged ``sum(costs)`` work with ``max(costs)``
+        granularity (costs default to 1 per item).
+        """
+        items = list(items)
+        if costs is None:
+            cost_arr = np.ones(len(items), dtype=np.float64)
+        else:
+            cost_arr = np.asarray(list(costs), dtype=np.float64)
+            if cost_arr.shape[0] != len(items):
+                raise ValueError("costs must align with items")
+        if items:
+            self.cost.region()
+            self.phase(float(cost_arr.sum()), float(cost_arr.max()))
+        if self.use_threads and self.n_workers > 1 and len(items) > 1:
+            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+                return list(pool.map(fn, items))
+        return [fn(item) for item in items]
+
+    # ------------------------------------------------------------------
+    def modeled_time(self, p: Optional[int] = None) -> float:
+        """Modeled execution time at ``p`` (default: configured) workers."""
+        return self.cost.modeled_time(p if p is not None else self.n_workers)
+
+    def speedup(self, p: Optional[int] = None) -> float:
+        return self.cost.speedup(p if p is not None else self.n_workers)
+
+    def reset(self) -> None:
+        self.cost.reset()
+        self.sync = SyncCounters()
+
+
+def ensure_context(ctx: Optional[ParallelContext]) -> ParallelContext:
+    """Kernels call this so ``ctx=None`` means a fresh 1-worker context."""
+    return ctx if ctx is not None else ParallelContext(1)

@@ -1,0 +1,47 @@
+"""Graph partitioning substrate (paper §2.2, Table 1).
+
+Reimplementations of the partitioners the paper compares:
+
+* :func:`~repro.partitioning.multilevel.multilevel_recursive_bisection`
+  — "pmetis": heavy-edge-matching coarsening, greedy growing, FM
+  refinement, recursive bisection;
+* :func:`~repro.partitioning.multilevel.multilevel_kway` — "kmetis":
+  same hierarchy, direct k-way refinement;
+* :func:`~repro.partitioning.spectral.spectral_bisection` — "Chaco":
+  Fiedler-vector bisection via Lanczos (``method="lanczos"``) or
+  Rayleigh-quotient iteration (``method="rqi"``); raises
+  :class:`~repro.errors.ConvergenceError` when the eigensolver
+  stagnates, reproducing Chaco's failure on the small-world instance.
+
+Quality metrics (edge cut, balance, conductance) live in
+:mod:`~repro.partitioning.metrics`.
+"""
+
+from repro.partitioning.metrics import (
+    edge_cut,
+    partition_balance,
+    partition_sizes,
+    conductance,
+    validate_partition,
+)
+from repro.partitioning.refine import fm_refine_bisection, kway_refine
+from repro.partitioning.multilevel import (
+    multilevel_recursive_bisection,
+    multilevel_kway,
+)
+from repro.partitioning.spectral import spectral_bisection, spectral_kway, fiedler_vector
+
+__all__ = [
+    "edge_cut",
+    "partition_balance",
+    "partition_sizes",
+    "conductance",
+    "validate_partition",
+    "fm_refine_bisection",
+    "kway_refine",
+    "multilevel_recursive_bisection",
+    "multilevel_kway",
+    "spectral_bisection",
+    "spectral_kway",
+    "fiedler_vector",
+]

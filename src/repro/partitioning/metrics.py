@@ -1,0 +1,89 @@
+"""Partition quality metrics: edge cut, balance, conductance.
+
+Table 1 reports *edge cut* for balanced 32-way partitions; §2.2
+contrasts that objective with the *conductance* clustering heuristics
+optimize.  All metrics honour vertex weights when provided.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import PartitioningError
+from repro.graph.csr import Graph
+
+
+def validate_partition(graph: Graph, parts: np.ndarray, k: Optional[int] = None) -> int:
+    """Check shape and label range; returns the number of parts."""
+    parts = np.asarray(parts)
+    if parts.shape[0] != graph.n_vertices:
+        raise PartitioningError(
+            f"partition length {parts.shape[0]} != n_vertices {graph.n_vertices}"
+        )
+    if parts.shape[0] == 0:
+        return 0
+    if parts.min() < 0:
+        raise PartitioningError("negative part label")
+    observed = int(parts.max()) + 1
+    if k is not None and observed > k:
+        raise PartitioningError(f"labels exceed k={k}")
+    return k if k is not None else observed
+
+
+def edge_cut(graph: Graph, parts: np.ndarray) -> float:
+    """Total weight of edges whose endpoints lie in different parts."""
+    validate_partition(graph, parts)
+    if graph.n_edges == 0:
+        return 0.0
+    u, v = graph.edge_endpoints()
+    w = graph.edge_weights()
+    cross = parts[u] != parts[v]
+    return float(w[cross].sum())
+
+
+def partition_sizes(
+    graph: Graph, parts: np.ndarray, k: Optional[int] = None,
+    vertex_weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """(Weighted) vertex count per part."""
+    k = validate_partition(graph, parts, k)
+    if vertex_weights is None:
+        return np.bincount(parts, minlength=k).astype(np.float64)
+    return np.bincount(parts, weights=vertex_weights, minlength=k)
+
+
+def partition_balance(
+    graph: Graph, parts: np.ndarray, k: Optional[int] = None,
+    vertex_weights: Optional[np.ndarray] = None,
+) -> float:
+    """Max part weight over ideal (1.0 = perfectly balanced).
+
+    The standard METIS imbalance metric: ``k · max_i |V_i| / |V|``.
+    """
+    sizes = partition_sizes(graph, parts, k, vertex_weights)
+    total = sizes.sum()
+    if total == 0:
+        return 1.0
+    return float(sizes.max() * sizes.shape[0] / total)
+
+
+def conductance(graph: Graph, mask: np.ndarray) -> float:
+    """Conductance of the cut (S, V−S): cut / min(vol S, vol V−S)."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape[0] != graph.n_vertices:
+        raise PartitioningError("mask length mismatch")
+    u, v = graph.edge_endpoints()
+    w = graph.edge_weights()
+    cut = float(w[mask[u] != mask[v]].sum())
+    deg = np.zeros(graph.n_vertices, dtype=np.float64)
+    if graph.n_edges:
+        np.add.at(deg, u, w)
+        np.add.at(deg, v, w)
+    vol_s = float(deg[mask].sum())
+    vol_t = float(deg[~mask].sum())
+    denom = min(vol_s, vol_t)
+    if denom == 0:
+        return 1.0 if cut > 0 else 0.0
+    return cut / denom

@@ -1,0 +1,283 @@
+"""Multilevel graph partitioning à la METIS (paper refs [26, 27]).
+
+The three classic phases:
+
+1. **Coarsening** — heavy-edge matching (HEM): visit vertices in random
+   order, match each with its unmatched neighbor of maximum edge
+   weight, contract matched pairs.  Repeats until the graph is small.
+2. **Initial partitioning** — greedy graph growing on the coarsest
+   graph: BFS-grow a region to half the vertex weight from the best of
+   several random seeds, then FM-refine.
+3. **Uncoarsening** — project the partition up the hierarchy, running
+   FM (bisection) / greedy k-way refinement at every level.
+
+``multilevel_recursive_bisection`` is the pmetis analogue (recursive
+2-way splits); ``multilevel_kway`` is the kmetis analogue (one
+hierarchy, direct k-way refinement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import PartitioningError
+from repro.graph.builder import compress_vertices, from_edge_array, induced_subgraph
+from repro.graph.csr import Graph, VERTEX_DTYPE
+from repro.kernels.bfs import bfs
+from repro.partitioning.metrics import edge_cut, validate_partition
+from repro.partitioning.refine import fm_refine_bisection, kway_refine
+from repro.parallel.runtime import ParallelContext, ensure_context
+
+
+@dataclass
+class _Level:
+    graph: Graph
+    vertex_weights: np.ndarray
+    fine_to_coarse: Optional[np.ndarray]  # None at the finest level
+
+
+def _heavy_edge_matching(
+    graph: Graph, vertex_weights: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Fine→coarse mapping from one round of heavy-edge matching."""
+    n = graph.n_vertices
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    for v in order:
+        v = int(v)
+        if match[v] >= 0:
+            continue
+        nbrs = graph.neighbors(v)
+        wts = graph.neighbor_weights(v)
+        best, best_w = -1, -1.0
+        for i in range(nbrs.shape[0]):
+            u = int(nbrs[i])
+            if match[u] >= 0 or u == v:
+                continue
+            if wts[i] > best_w:
+                best, best_w = u, float(wts[i])
+        if best >= 0:
+            match[v] = best
+            match[best] = v
+        else:
+            match[v] = v
+    # assign coarse ids: one per matched pair / singleton
+    coarse = np.full(n, -1, dtype=np.int64)
+    nxt = 0
+    for v in range(n):
+        if coarse[v] >= 0:
+            continue
+        coarse[v] = nxt
+        m = int(match[v])
+        if m != v:
+            coarse[m] = nxt
+        nxt += 1
+    return coarse
+
+
+def _coarsen(
+    graph: Graph,
+    *,
+    coarsest_size: int,
+    rng: np.random.Generator,
+    max_levels: int = 32,
+    vertex_weights: Optional[np.ndarray] = None,
+) -> list[_Level]:
+    if vertex_weights is None:
+        vertex_weights = np.ones(graph.n_vertices, dtype=np.float64)
+    levels = [_Level(graph, np.asarray(vertex_weights, dtype=np.float64), None)]
+    while (
+        levels[-1].graph.n_vertices > coarsest_size and len(levels) < max_levels
+    ):
+        cur = levels[-1]
+        mapping = _heavy_edge_matching(cur.graph, cur.vertex_weights, rng)
+        n_coarse = int(mapping.max()) + 1
+        if n_coarse >= cur.graph.n_vertices:  # no contraction possible
+            break
+        coarse_graph = compress_vertices(cur.graph, mapping)
+        cw = np.bincount(mapping, weights=cur.vertex_weights, minlength=n_coarse)
+        levels.append(_Level(coarse_graph, cw, mapping))
+        if n_coarse > 0.95 * cur.graph.n_vertices:
+            break  # matching stalled (e.g. star graphs)
+    return levels
+
+
+def _greedy_grow_bisection(
+    graph: Graph,
+    vertex_weights: np.ndarray,
+    rng: np.random.Generator,
+    n_tries: int = 4,
+) -> np.ndarray:
+    """Initial bisection by BFS region growing from random seeds."""
+    n = graph.n_vertices
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    total = float(vertex_weights.sum())
+    best_side: Optional[np.ndarray] = None
+    best_cut = np.inf
+    for t in range(n_tries):
+        seed = int(rng.integers(0, n))
+        side = np.zeros(n, dtype=bool)
+        # BFS order from the seed, claim until half the weight
+        res = bfs(graph, seed)
+        order = np.argsort(
+            np.where(res.distances < 0, np.iinfo(np.int64).max, res.distances),
+            kind="stable",
+        )
+        acc = 0.0
+        for v in order:
+            if acc >= total / 2.0:
+                break
+            side[v] = True
+            acc += float(vertex_weights[v])
+        side = fm_refine_bisection(
+            graph, side, vertex_weights=vertex_weights
+        )
+        cut = edge_cut(graph, side.astype(np.int64))
+        if cut < best_cut:
+            best_cut, best_side = cut, side
+    assert best_side is not None
+    return best_side
+
+
+def _project(levels: list[_Level], coarse_labels: np.ndarray, upto: int) -> np.ndarray:
+    """Project labels from level ``upto`` down to the finest level,
+    refining is the caller's job."""
+    labels = coarse_labels
+    for lvl in range(upto, 0, -1):
+        mapping = levels[lvl].fine_to_coarse
+        assert mapping is not None
+        labels = labels[mapping]
+    return labels
+
+
+def multilevel_bisection(
+    graph: Graph,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    max_imbalance: float = 1.05,
+    vertex_weights: Optional[np.ndarray] = None,
+    ctx: Optional[ParallelContext] = None,
+) -> np.ndarray:
+    """Single multilevel 2-way split; returns a boolean side array."""
+    ctx = ensure_context(ctx)
+    rng = rng or np.random.default_rng(0)
+    n = graph.n_vertices
+    if n <= 1:
+        return np.zeros(n, dtype=bool)
+    levels = _coarsen(
+        graph, coarsest_size=max(64, 2), rng=rng, vertex_weights=vertex_weights
+    )
+    ctx.serial(float(sum(l.graph.n_arcs for l in levels)))
+    side = _greedy_grow_bisection(
+        levels[-1].graph, levels[-1].vertex_weights, rng
+    )
+    for lvl in range(len(levels) - 1, 0, -1):
+        mapping = levels[lvl].fine_to_coarse
+        assert mapping is not None
+        side = side[mapping]
+        side = fm_refine_bisection(
+            levels[lvl - 1].graph,
+            side,
+            vertex_weights=levels[lvl - 1].vertex_weights,
+            max_imbalance=max_imbalance,
+        )
+    return side
+
+
+def multilevel_recursive_bisection(
+    graph: Graph,
+    k: int,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    max_imbalance: float = 1.05,
+    vertex_weights: Optional[np.ndarray] = None,
+    ctx: Optional[ParallelContext] = None,
+) -> np.ndarray:
+    """pmetis-style k-way partition by recursive multilevel bisection."""
+    _check_k(graph, k)
+    ctx = ensure_context(ctx)
+    rng = rng or np.random.default_rng(0)
+    parts = np.zeros(graph.n_vertices, dtype=np.int64)
+    vw_all = (
+        np.ones(graph.n_vertices, dtype=np.float64)
+        if vertex_weights is None
+        else np.asarray(vertex_weights, dtype=np.float64)
+    )
+
+    def recurse(vertices: np.ndarray, sub: Graph, k_here: int, base: int) -> None:
+        if k_here == 1 or sub.n_vertices <= 1:
+            parts[vertices] = base
+            return
+        k_left = k_here // 2
+        # weight-proportional split: grow side to k_left/k_here of total
+        side = multilevel_bisection(
+            sub, rng=rng, max_imbalance=max_imbalance,
+            vertex_weights=vw_all[vertices], ctx=ctx
+        )
+        left = vertices[~side]
+        right = vertices[side]
+        if left.shape[0] == 0 or right.shape[0] == 0:
+            # degenerate split: fall back to round-robin halves
+            half = vertices.shape[0] // 2
+            left, right = vertices[:half], vertices[half:]
+        sub_l, _ = induced_subgraph(graph, left)
+        sub_r, _ = induced_subgraph(graph, right)
+        recurse(left, sub_l, k_left, base)
+        recurse(right, sub_r, k_here - k_left, base + k_left)
+
+    recurse(np.arange(graph.n_vertices, dtype=VERTEX_DTYPE), graph, k, 0)
+    return parts
+
+
+def multilevel_kway(
+    graph: Graph,
+    k: int,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    max_imbalance: float = 1.05,
+    ctx: Optional[ParallelContext] = None,
+) -> np.ndarray:
+    """kmetis-style partition: coarsen once, k-way refine on the way up."""
+    _check_k(graph, k)
+    ctx = ensure_context(ctx)
+    rng = rng or np.random.default_rng(0)
+    levels = _coarsen(graph, coarsest_size=max(20 * k, 128), rng=rng)
+    ctx.serial(float(sum(l.graph.n_arcs for l in levels)))
+    coarsest = levels[-1]
+    labels = multilevel_recursive_bisection(
+        coarsest.graph, k, rng=rng, max_imbalance=max_imbalance,
+        vertex_weights=coarsest.vertex_weights,
+    )
+    labels = kway_refine(
+        coarsest.graph,
+        labels,
+        k,
+        vertex_weights=coarsest.vertex_weights,
+        max_imbalance=max_imbalance,
+    )
+    for lvl in range(len(levels) - 1, 0, -1):
+        mapping = levels[lvl].fine_to_coarse
+        assert mapping is not None
+        labels = labels[mapping]
+        labels = kway_refine(
+            levels[lvl - 1].graph,
+            labels,
+            k,
+            vertex_weights=levels[lvl - 1].vertex_weights,
+            max_imbalance=max_imbalance,
+        )
+    validate_partition(graph, labels, k)
+    return labels
+
+
+def _check_k(graph: Graph, k: int) -> None:
+    if k < 1:
+        raise PartitioningError("k must be >= 1")
+    if graph.n_vertices and k > graph.n_vertices:
+        raise PartitioningError("k exceeds the number of vertices")
+    if graph.directed:
+        raise PartitioningError("partitioning requires an undirected graph")

@@ -1,0 +1,198 @@
+"""Fiduccia–Mattheyses / Kernighan–Lin style refinement (paper §2.2).
+
+The multilevel partitioners refine at every uncoarsening level:
+
+* :func:`fm_refine_bisection` — boundary FM for two parts: vertices
+  move one at a time by best gain (with lock-until-pass-end), the best
+  prefix of moves is kept — the KL idea [28] with FM's single-vertex
+  moves and gain updates;
+* :func:`kway_refine` — greedy boundary refinement for k parts, the
+  kmetis-style "move to the best adjacent part if it helps and balance
+  allows" sweep.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import PartitioningError
+from repro.graph.csr import Graph
+
+
+def _vertex_part_weights(graph: Graph, v: int, parts: np.ndarray, k: int) -> np.ndarray:
+    """Weight of v's edges into each part."""
+    out = np.zeros(k, dtype=np.float64)
+    nbrs = graph.neighbors(v)
+    wts = graph.neighbor_weights(v)
+    np.add.at(out, parts[nbrs], wts)
+    return out
+
+
+def fm_refine_bisection(
+    graph: Graph,
+    side: np.ndarray,
+    *,
+    vertex_weights: Optional[np.ndarray] = None,
+    max_imbalance: float = 1.05,
+    max_passes: int = 8,
+) -> np.ndarray:
+    """FM refinement of a 2-way partition (``side`` boolean array).
+
+    Returns the refined boolean side array.  Balance is enforced
+    against ``max_imbalance`` × ideal side weight.
+    """
+    n = graph.n_vertices
+    side = np.asarray(side, dtype=bool).copy()
+    if side.shape[0] != n:
+        raise PartitioningError("side length mismatch")
+    vw = (
+        np.ones(n, dtype=np.float64)
+        if vertex_weights is None
+        else np.asarray(vertex_weights, dtype=np.float64)
+    )
+    total_w = float(vw.sum())
+    limit = max_imbalance * total_w / 2.0
+
+    for _ in range(max_passes):
+        # gain(v) = external − internal edge weight
+        gains = np.zeros(n, dtype=np.float64)
+        src = graph.arc_sources()
+        same = side[src] == side[graph.targets]
+        w = (
+            np.ones(graph.n_arcs, dtype=np.float64)
+            if graph.weights is None
+            else graph.weights
+        )
+        np.add.at(gains, src, np.where(same, -w, w))
+        boundary = np.nonzero(gains > -np.inf)[0]  # all vertices eligible
+        heap = [(-gains[v], int(v)) for v in boundary]
+        heapq.heapify(heap)
+        locked = np.zeros(n, dtype=bool)
+        weight = np.asarray(
+            [float(vw[~side].sum()), float(vw[side].sum())]
+        )
+        cur_cut_delta = 0.0
+        best_delta = 0.0
+        best_prefix: list[int] = []
+        moves: list[int] = []
+        live_gain = gains.copy()
+        while heap:
+            neg, v = heapq.heappop(heap)
+            if locked[v] or -neg != live_gain[v]:
+                continue
+            target = int(not side[v])
+            if weight[target] + vw[v] > limit:
+                continue
+            # move v
+            locked[v] = True
+            weight[target] += vw[v]
+            weight[1 - target] -= vw[v]
+            cur_cut_delta -= live_gain[v]
+            side[v] = bool(target)
+            moves.append(v)
+            if cur_cut_delta < best_delta - 1e-12:
+                best_delta = cur_cut_delta
+                best_prefix = list(moves)
+            # update neighbor gains
+            nbrs = graph.neighbors(v)
+            wts = graph.neighbor_weights(v)
+            for i in range(nbrs.shape[0]):
+                u = int(nbrs[i])
+                if locked[u]:
+                    continue
+                # u's gain changes by ±2w depending on new relation
+                delta = 2.0 * float(wts[i])
+                if side[u] == side[v]:
+                    live_gain[u] -= delta
+                else:
+                    live_gain[u] += delta
+                heapq.heappush(heap, (-live_gain[u], u))
+        # revert to the best prefix
+        for v in reversed(moves[len(best_prefix):]):
+            side[v] = not side[v]
+        if best_delta >= -1e-12:
+            break  # no improvement this pass
+    return side
+
+
+def kway_refine(
+    graph: Graph,
+    parts: np.ndarray,
+    k: int,
+    *,
+    vertex_weights: Optional[np.ndarray] = None,
+    max_imbalance: float = 1.05,
+    max_passes: int = 8,
+) -> np.ndarray:
+    """Greedy k-way boundary refinement (kmetis style)."""
+    n = graph.n_vertices
+    parts = np.asarray(parts, dtype=np.int64).copy()
+    vw = (
+        np.ones(n, dtype=np.float64)
+        if vertex_weights is None
+        else np.asarray(vertex_weights, dtype=np.float64)
+    )
+    limit = max_imbalance * float(vw.sum()) / k
+    weight = np.bincount(parts, weights=vw, minlength=k)
+
+    for _ in range(max_passes):
+        moved = 0
+        src = graph.arc_sources()
+        boundary = np.unique(src[parts[src] != parts[graph.targets]])
+        for v in boundary:
+            v = int(v)
+            pw = _vertex_part_weights(graph, v, parts, k)
+            own = int(parts[v])
+            pw_own = pw[own]
+            # best alternative part by connection weight
+            pw[own] = -np.inf
+            tgt = int(np.argmax(pw))
+            gain = pw[tgt] - pw_own
+            if gain > 1e-12 and weight[tgt] + vw[v] <= limit:
+                weight[own] -= vw[v]
+                weight[tgt] += vw[v]
+                parts[v] = tgt
+                moved += 1
+        if moved == 0:
+            break
+
+    # Balance enforcement: drain overweight parts through their
+    # boundary, moving each spilled vertex to its best-connected part
+    # with headroom (small cut regressions allowed — balance first, as
+    # in METIS's ufactor contract).
+    for _ in range(max_passes):
+        over_mask = weight > limit + 1e-9
+        if not over_mask.any():
+            break
+        moved = 0
+        # Candidates: every vertex of an overweight part, boundary
+        # vertices first (they cost least to move), light before heavy.
+        src = graph.arc_sources()
+        is_boundary = np.zeros(n, dtype=bool)
+        cross = parts[src] != parts[graph.targets]
+        is_boundary[np.unique(src[cross])] = True
+        cand = np.nonzero(over_mask[parts])[0]
+        order = cand[np.lexsort((vw[cand], ~is_boundary[cand]))]
+        for v in order:
+            v = int(v)
+            own = int(parts[v])
+            if weight[own] <= limit + 1e-9:
+                continue
+            pw = _vertex_part_weights(graph, v, parts, k)
+            pw[own] = -np.inf
+            headroom = weight + vw[v] <= limit
+            headroom[own] = False
+            if not headroom.any():
+                continue
+            pw[~headroom] = -np.inf
+            tgt = int(np.argmax(pw))
+            weight[own] -= vw[v]
+            weight[tgt] += vw[v]
+            parts[v] = tgt
+            moved += 1
+        if moved == 0:
+            break
+    return parts

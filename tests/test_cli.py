@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import karate_club
+from repro.graph.io import load_npz, read_edge_list, write_edge_list
+
+
+@pytest.fixture
+def karate_file(tmp_path):
+    p = tmp_path / "karate.txt"
+    write_edge_list(karate_club(), p)
+    return str(p)
+
+
+class TestAnalyze:
+    def test_basic(self, karate_file, capsys):
+        assert main(["analyze", karate_file]) == 0
+        out = capsys.readouterr().out
+        assert "n=34" in out
+        assert "clustering coeff" in out
+
+    def test_with_paths(self, karate_file, capsys):
+        assert main(["analyze", karate_file, "--paths"]) == 0
+        assert "effective diameter" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent/graph.txt"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCluster:
+    @pytest.mark.parametrize("algo", ["pla", "pma", "cnm"])
+    def test_algorithms(self, karate_file, capsys, algo):
+        assert main(["cluster", karate_file, "-a", algo]) == 0
+        out = capsys.readouterr().out
+        assert "Q = 0." in out
+
+    def test_label_output(self, karate_file, tmp_path, capsys):
+        out_file = tmp_path / "labels.txt"
+        assert main(
+            ["cluster", karate_file, "-a", "pma", "-o", str(out_file)]
+        ) == 0
+        rows = out_file.read_text().strip().splitlines()
+        assert len(rows) == 34
+
+
+class TestPartition:
+    def test_kmetis(self, karate_file, capsys):
+        assert main(["partition", karate_file, "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "edge cut" in out
+        assert "balance" in out
+
+    def test_partition_output(self, karate_file, tmp_path):
+        out_file = tmp_path / "parts.txt"
+        assert main(
+            ["partition", karate_file, "-k", "2", "-o", str(out_file)]
+        ) == 0
+        parts = np.loadtxt(out_file, dtype=int)
+        assert parts.shape[0] == 34
+        assert set(parts.tolist()) == {0, 1}
+
+
+class TestGenerateConvert:
+    def test_generate_rmat(self, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        assert main(
+            ["generate", "rmat", "--scale", "7", "-o", str(out)]
+        ) == 0
+        g = read_edge_list(out)
+        assert g.n_vertices <= 128
+
+    def test_generate_planted_npz(self, tmp_path):
+        out = tmp_path / "g.npz"
+        assert main(
+            ["generate", "planted", "-n", "80", "--blocks", "4",
+             "-o", str(out)]
+        ) == 0
+        g = load_npz(out)
+        assert g.n_vertices == 80
+
+    def test_convert_to_metis(self, karate_file, tmp_path):
+        out = tmp_path / "karate.graph"
+        assert main(
+            ["convert", karate_file, str(out), "--to", "metis"]
+        ) == 0
+        from repro.graph.io import read_metis
+
+        g = read_metis(out)
+        assert g.n_edges == 78
+
+    def test_roundtrip_via_npz(self, karate_file, tmp_path):
+        npz = tmp_path / "k.npz"
+        back = tmp_path / "k2.txt"
+        assert main(["convert", karate_file, str(npz), "--to", "npz"]) == 0
+        assert main(["convert", str(npz), str(back), "--to", "edgelist"]) == 0
+        assert read_edge_list(back).n_edges == 78

@@ -1,0 +1,129 @@
+"""Hypothesis property tests for modularity and the clustering stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.community import (
+    ModularityTracker,
+    cnm,
+    modularity,
+    pla,
+    pma,
+)
+from repro.community.buckets import MultiLevelBucket
+from repro.graph import from_edge_array
+
+
+def _graph_from_edges(edges, n=16):
+    src = np.asarray([e[0] for e in edges], dtype=np.int64)
+    dst = np.asarray([e[1] for e in edges], dtype=np.int64)
+    return from_edge_array(n, src, dst, directed=False)
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)),
+    min_size=1,
+    max_size=60,
+)
+label_arrays = st.lists(st.integers(0, 5), min_size=16, max_size=16)
+
+
+@given(edge_lists, label_arrays)
+@settings(max_examples=80, deadline=None)
+def test_modularity_bounds(edges, labels):
+    g = _graph_from_edges(edges)
+    q = modularity(g, np.asarray(labels))
+    assert -0.5 - 1e-9 <= q < 1.0
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_modularity_single_cluster_zero(edges):
+    g = _graph_from_edges(edges)
+    assert modularity(g, np.zeros(16)) == pytest.approx(0.0)
+
+
+@given(edge_lists, label_arrays)
+@settings(max_examples=60, deadline=None)
+def test_modularity_label_renaming_invariance(edges, labels):
+    g = _graph_from_edges(edges)
+    labels = np.asarray(labels)
+    renamed = labels * 37 + 5
+    assert modularity(g, labels) == pytest.approx(modularity(g, renamed))
+
+
+@given(edge_lists, st.data())
+@settings(max_examples=50, deadline=None)
+def test_tracker_splits_stay_consistent(edges, data):
+    """Random split sequences: incremental Q == recomputed Q."""
+    g = _graph_from_edges(edges)
+    t = ModularityTracker(g)
+    for _ in range(4):
+        labs = np.unique(t.labels)
+        lab = data.draw(st.sampled_from(list(labs)))
+        members = np.nonzero(t.labels == lab)[0]
+        if members.shape[0] < 2:
+            continue
+        cut = data.draw(st.integers(1, members.shape[0] - 1))
+        t.split(members[:cut], members[cut:])
+        t.check()  # raises on drift
+
+
+@given(edge_lists)
+@settings(max_examples=30, deadline=None)
+def test_pma_equals_cnm_on_random_graphs(edges):
+    """The SNAP data structures change nothing about the greedy result."""
+    g = _graph_from_edges(edges)
+    if g.n_edges == 0:
+        return
+    a = cnm(g)
+    b = pma(g)
+    assert a.extras["dendrogram"].merges == b.extras["dendrogram"].merges
+    assert a.modularity == pytest.approx(b.modularity)
+
+
+@given(edge_lists, st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_pla_never_below_singletons(edges, seed):
+    """pLA only accepts improving merges → Q >= Q(singleton partition)."""
+    g = _graph_from_edges(edges)
+    if g.n_edges == 0:
+        return
+    r = pla(g, rng=np.random.default_rng(seed))
+    q_singletons = modularity(g, np.arange(16))
+    assert r.modularity >= q_singletons - 1e-9
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 40), st.floats(-0.99, 0.99)),
+        min_size=0,
+        max_size=100,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_bucket_max_always_correct(ops):
+    b = MultiLevelBucket()
+    ref: dict[int, float] = {}
+    for key, val in ops:
+        b.insert(key, val)
+        ref[key] = val
+        top = b.max()
+        assert top is not None
+        assert top[1] == max(ref.values())
+    b.check_invariants()
+
+
+@given(edge_lists)
+@settings(max_examples=30, deadline=None)
+def test_clustering_results_partition_vertices(edges):
+    g = _graph_from_edges(edges)
+    if g.n_edges == 0:
+        return
+    for r in (pma(g), pla(g, rng=np.random.default_rng(0))):
+        comms = r.communities()
+        all_vertices = np.concatenate(comms) if comms else np.empty(0)
+        assert np.array_equal(np.sort(all_vertices), np.arange(16))

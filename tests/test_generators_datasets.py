@@ -1,0 +1,251 @@
+"""Tests for graph generators and the dataset surrogates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.community import modularity
+from repro.datasets import (
+    karate_club,
+    KARATE_GROUND_TRUTH,
+    SURROGATE_SPECS,
+    load_surrogate,
+    table2_networks,
+    table3_networks,
+)
+from repro.errors import SnapError
+from repro.generators import (
+    rmat,
+    watts_strogatz,
+    gnm_random,
+    chung_lu,
+    barabasi_albert,
+    power_law_degrees,
+    road_network,
+    grid_graph,
+    planted_partition,
+)
+from repro.kernels import connected_components
+from repro.metrics import average_clustering, average_shortest_path_length
+from repro.metrics.basic import degree_skewness
+
+
+class TestRmat:
+    def test_sizes(self):
+        g = rmat(10, 8.0, rng=np.random.default_rng(0))
+        assert g.n_vertices == 1024
+        # dedupe removes some of the 8192 sampled edges
+        assert 4000 < g.n_edges <= 8192
+
+    def test_skewed_degrees(self):
+        g = rmat(12, 8.0, rng=np.random.default_rng(1))
+        assert degree_skewness(g) > 1.5
+
+    def test_low_diameter(self):
+        g = rmat(11, 8.0, rng=np.random.default_rng(2))
+        aspl = average_shortest_path_length(
+            g, n_samples=30, rng=np.random.default_rng(3)
+        )
+        assert aspl < 6.0
+
+    def test_directed_mode(self):
+        g = rmat(8, 4.0, directed=True, rng=np.random.default_rng(4))
+        assert g.directed
+
+    def test_deterministic(self):
+        a = rmat(9, 4.0, rng=np.random.default_rng(7))
+        b = rmat(9, 4.0, rng=np.random.default_rng(7))
+        assert a.n_edges == b.n_edges
+        assert np.array_equal(a.targets, b.targets)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            rmat(0)
+        with pytest.raises(ValueError):
+            rmat(5, params=(0.5, 0.5, 0.5, 0.5))
+
+    def test_zero_noise(self):
+        g = rmat(8, 4.0, noise=0.0, rng=np.random.default_rng(1))
+        assert g.n_vertices == 256
+        assert g.n_edges > 200
+
+    def test_uniform_params_approach_gnm(self):
+        # (¼,¼,¼,¼) is an Erdős–Rényi-like matrix: low degree skew
+        g = rmat(
+            11, 8.0, params=(0.25, 0.25, 0.25, 0.25),
+            rng=np.random.default_rng(2),
+        )
+        assert degree_skew(g.degrees()) < 1.0
+
+
+class TestWattsStrogatz:
+    def test_no_rewire_is_lattice(self):
+        g = watts_strogatz(50, 4, 0.0)
+        assert g.n_edges == 100
+        assert (g.degrees() == 4).all()
+
+    def test_high_clustering_low_rewire(self):
+        g = watts_strogatz(500, 8, 0.05, rng=np.random.default_rng(0))
+        assert average_clustering(g) > 0.4
+
+    def test_rewiring_shrinks_paths(self):
+        ring = watts_strogatz(400, 6, 0.0)
+        sw = watts_strogatz(400, 6, 0.2, rng=np.random.default_rng(1))
+        a0 = average_shortest_path_length(ring, n_samples=25, rng=np.random.default_rng(2))
+        a1 = average_shortest_path_length(sw, n_samples=25, rng=np.random.default_rng(2))
+        assert a1 < a0 / 2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 4, 1.5)
+
+
+class TestRandomFamilies:
+    def test_gnm_exact_edge_count(self):
+        g = gnm_random(200, 800, rng=np.random.default_rng(0))
+        assert g.n_vertices == 200
+        assert g.n_edges == 800
+
+    def test_gnm_overfull_rejected(self):
+        with pytest.raises(ValueError):
+            gnm_random(4, 100)
+
+    def test_gnm_directed(self):
+        g = gnm_random(50, 300, directed=True, rng=np.random.default_rng(1))
+        assert g.directed and g.n_edges == 300
+
+    def test_power_law_degrees_range(self):
+        d = power_law_degrees(1000, 2.5, min_degree=2, rng=np.random.default_rng(2))
+        assert d.min() >= 2
+        assert degree_skew(d) > 1.0
+
+    def test_chung_lu_tracks_targets(self):
+        target = power_law_degrees(800, 2.3, min_degree=3, rng=np.random.default_rng(3))
+        g = chung_lu(target, rng=np.random.default_rng(4))
+        # realized average degree within 40% of target average
+        assert abs(g.degrees().mean() - target.mean()) < 0.4 * target.mean()
+
+    def test_ba_hub_growth(self):
+        g = barabasi_albert(500, 3, rng=np.random.default_rng(5))
+        assert g.degrees().max() > 20
+        labels = connected_components(g)
+        assert np.unique(labels).shape[0] == 1  # BA graphs are connected
+
+    def test_ba_invalid(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 5)
+
+
+class TestRoadAndGrid:
+    def test_road_localized(self):
+        g = road_network(800, 8, rng=np.random.default_rng(0))
+        assert degree_skewness(g) < 1.0  # near-constant degrees
+        assert average_shortest_path_length(
+            g, n_samples=20, rng=np.random.default_rng(1)
+        ) > 5.0  # O(sqrt n) distances, not log
+
+    def test_road_weighted(self):
+        g = road_network(100, 4, weighted_by_distance=True)
+        assert g.is_weighted
+        assert g.edge_weights().max() < np.sqrt(2.0)
+
+    def test_grid_structure(self):
+        g = grid_graph(4, 5)
+        assert g.n_vertices == 20
+        assert g.n_edges == 4 * 4 + 3 * 5  # horizontal + vertical
+        assert g.degrees().max() == 4
+
+    def test_grid_diagonal(self):
+        g = grid_graph(3, 3, diagonal=True)
+        assert g.has_edge(0, 4)
+
+
+class TestPlantedPartition:
+    def test_ground_truth_high_modularity(self):
+        pp = planted_partition([30] * 5, 0.4, 0.01, rng=np.random.default_rng(0))
+        assert modularity(pp.graph, pp.labels) > 0.5
+
+    def test_sizes_and_labels(self):
+        pp = planted_partition([10, 20, 30], 0.5, 0.02, rng=np.random.default_rng(1))
+        assert pp.graph.n_vertices == 60
+        assert pp.n_communities == 3
+        assert np.bincount(pp.labels).tolist() == [10, 20, 30]
+
+    def test_uniform_mode(self):
+        pp = planted_partition(15, 0.3, 0.01, n_blocks=4)
+        assert pp.graph.n_vertices == 60
+
+    def test_zero_probability(self):
+        pp = planted_partition([10, 10], 0.0, 0.0)
+        assert pp.graph.n_edges == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            planted_partition(10, 0.5, 0.1)  # missing n_blocks
+        with pytest.raises(ValueError):
+            planted_partition([10], 1.5, 0.0)
+
+
+class TestDatasets:
+    def test_karate_exact(self):
+        g = karate_club()
+        assert g.n_vertices == 34
+        assert g.n_edges == 78
+        assert g.degrees()[33] == 17  # the instructor hub
+        assert KARATE_GROUND_TRUTH.shape[0] == 34
+
+    def test_karate_ground_truth_modularity(self):
+        g = karate_club()
+        assert modularity(g, KARATE_GROUND_TRUTH) == pytest.approx(0.3582, abs=1e-3)
+
+    def test_surrogate_sizes_track_paper(self):
+        for name in ("polbooks", "email", "PPI"):
+            spec = SURROGATE_SPECS[name]
+            g = load_surrogate(name, scale=1.0)
+            assert g.n_vertices == spec.paper_n
+            assert abs(g.n_edges - spec.paper_m) < 0.25 * spec.paper_m
+
+    def test_surrogate_scaling(self):
+        g = load_surrogate("email", scale=0.25)
+        assert g.n_vertices == pytest.approx(1133 * 0.25, abs=2)
+
+    def test_directed_surrogates(self):
+        g = load_surrogate("Citations", scale=0.05)
+        assert g.directed
+
+    def test_table2_set(self):
+        nets = table2_networks(scale=0.2)
+        assert set(nets) == {
+            "karate", "polbooks", "jazz", "metabolic", "email", "keysigning"
+        }
+        assert nets["karate"].n_vertices == 34  # never scaled
+
+    def test_table3_set(self):
+        nets = table3_networks(scale=0.01)
+        assert set(nets) == {
+            "PPI", "Citations", "DBLP", "NDwww", "Actor", "RMAT-SF"
+        }
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SnapError):
+            load_surrogate("facebook")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            load_surrogate("email", scale=0.0)
+
+    def test_keysigning_has_community_structure(self):
+        from repro.community import pla
+
+        g = load_surrogate("keysigning", scale=0.1, rng=np.random.default_rng(0))
+        r = pla(g)
+        assert r.modularity > 0.5  # strong structure, as in Table 2
+
+
+def degree_skew(d: np.ndarray) -> float:
+    d = d.astype(np.float64)
+    mu, sd = d.mean(), d.std()
+    return float(((d - mu) ** 3).mean() / sd**3) if sd else 0.0

@@ -1,0 +1,216 @@
+"""Tests for graph file formats and attribute tables."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError, GraphStructureError
+from repro.graph import from_edge_list
+from repro.graph.attributes import AttributedGraph, AttributeTable
+from repro.graph.io import (
+    read_edge_list,
+    write_edge_list,
+    read_metis,
+    write_metis,
+    read_dimacs,
+    write_dimacs,
+    save_npz,
+    load_npz,
+)
+
+
+@pytest.fixture
+def sample(weighted_graph):
+    return weighted_graph
+
+
+def _same_graph(a, b) -> bool:
+    if a.n_vertices != b.n_vertices or a.n_edges != b.n_edges:
+        return False
+    ua, va = a.edge_endpoints()
+    ub, vb = b.edge_endpoints()
+    ea = sorted(zip(ua.tolist(), va.tolist(), a.edge_weights().tolist()))
+    eb = sorted(zip(ub.tolist(), vb.tolist(), b.edge_weights().tolist()))
+    return ea == eb
+
+
+class TestEdgeListFormat:
+    def test_roundtrip(self, sample, tmp_path):
+        p = tmp_path / "g.txt"
+        write_edge_list(sample, p)
+        g = read_edge_list(p)
+        assert _same_graph(sample, g)
+
+    def test_roundtrip_unweighted(self, triangle_plus_tail, tmp_path):
+        p = tmp_path / "g.txt"
+        write_edge_list(triangle_plus_tail, p)
+        g = read_edge_list(p)
+        assert not g.is_weighted
+        assert _same_graph(triangle_plus_tail, g)
+
+    def test_comments_and_blank_lines(self):
+        text = "# header\n\n0 1\n% other comment\n1 2\n"
+        g = read_edge_list(io.StringIO(text))
+        assert g.n_edges == 2
+
+    def test_bad_line(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(io.StringIO("0\n"))
+        with pytest.raises(GraphFormatError):
+            read_edge_list(io.StringIO("a b\n"))
+
+    def test_inconsistent_weights(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(io.StringIO("0 1 2.0\n1 2\n"))
+
+    def test_directed(self):
+        g = read_edge_list(io.StringIO("0 1\n1 0\n"), directed=True)
+        assert g.n_edges == 2
+
+    def test_explicit_n_vertices(self):
+        g = read_edge_list(io.StringIO("0 1\n"), n_vertices=10)
+        assert g.n_vertices == 10
+
+
+class TestMetisFormat:
+    def test_roundtrip(self, sample, tmp_path):
+        p = tmp_path / "g.graph"
+        write_metis(sample, p)
+        g = read_metis(p)
+        assert _same_graph(sample, g)
+
+    def test_roundtrip_unweighted(self, two_triangles_bridge, tmp_path):
+        p = tmp_path / "g.graph"
+        write_metis(two_triangles_bridge, p)
+        g = read_metis(p)
+        assert _same_graph(two_triangles_bridge, g)
+
+    def test_header_mismatch_detected(self):
+        with pytest.raises(GraphFormatError):
+            read_metis(io.StringIO("2 5\n2\n1\n"))  # claims 5 edges, has 1
+
+    def test_vertex_count_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            read_metis(io.StringIO("3 1\n2\n1\n"))  # only 2 vertex lines
+
+    def test_neighbor_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            read_metis(io.StringIO("2 1\n5\n1\n"))
+
+    def test_directed_write_rejected(self):
+        g = from_edge_list([(0, 1)], directed=True)
+        with pytest.raises(GraphFormatError):
+            write_metis(g, io.StringIO())
+
+    def test_empty_file(self):
+        with pytest.raises(GraphFormatError):
+            read_metis(io.StringIO(""))
+
+
+class TestDimacsFormat:
+    def test_roundtrip_directed(self, tmp_path):
+        g0 = from_edge_list([(0, 1, 3.0), (1, 2, 4.0)], directed=True)
+        p = tmp_path / "g.gr"
+        write_dimacs(g0, p)
+        g = read_dimacs(p)
+        assert _same_graph(g0, g)
+
+    def test_roundtrip_undirected(self, sample, tmp_path):
+        p = tmp_path / "g.gr"
+        write_dimacs(sample, p)
+        g = read_dimacs(p, directed=True)
+        # undirected graphs serialize both arcs
+        assert g.n_edges == 2 * sample.n_edges
+
+    def test_missing_problem_line(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(io.StringIO("a 1 2 3\n"))
+
+    def test_comments_skipped(self):
+        g = read_dimacs(io.StringIO("c hi\np sp 3 1\na 1 2 5\n"))
+        assert g.n_edges == 1
+        assert g.edge_weight(0, 1) == 5.0
+
+
+class TestNpzFormat:
+    def test_roundtrip(self, sample, tmp_path):
+        p = tmp_path / "g.npz"
+        save_npz(sample, p)
+        g = load_npz(p)
+        assert _same_graph(sample, g)
+        assert np.array_equal(g.arc_edge_ids, sample.arc_edge_ids)
+
+    def test_roundtrip_directed(self, tmp_path):
+        g0 = from_edge_list([(0, 1), (2, 1)], directed=True)
+        p = tmp_path / "g.npz"
+        save_npz(g0, p)
+        g = load_npz(p)
+        assert g.directed
+        assert _same_graph(g0, g)
+
+
+class TestAttributeTable:
+    def test_numeric_column(self):
+        t = AttributeTable(4)
+        t.add_column("score", [1.0, 2.0, 3.0, 4.0])
+        assert t.get("score", 2) == 3.0
+        t.set("score", 2, 9.0)
+        assert t.get("score", 2) == 9.0
+
+    def test_object_column(self):
+        t = AttributeTable(3)
+        t.add_column("kind", ["protein", "gene", "protein"])
+        assert t.get("kind", 0) == "protein"
+
+    def test_fill_column(self):
+        t = AttributeTable(3)
+        t.add_column("flag", fill=False)
+        assert not t.get("flag", 1)
+
+    def test_select(self):
+        t = AttributeTable(4)
+        t.add_column("x", [10, 20, 30, 40])
+        sel = t.select("x", np.asarray([True, False, True, False]))
+        assert list(sel) == [10, 30]
+
+    def test_duplicate_and_missing(self):
+        t = AttributeTable(2)
+        t.add_column("a", [1, 2])
+        with pytest.raises(GraphStructureError):
+            t.add_column("a", [3, 4])
+        with pytest.raises(GraphStructureError):
+            t.column("b")
+        t.drop_column("a")
+        with pytest.raises(GraphStructureError):
+            t.drop_column("a")
+
+    def test_length_mismatch(self):
+        t = AttributeTable(2)
+        with pytest.raises(GraphStructureError):
+            t.add_column("a", [1, 2, 3])
+
+    def test_index_bounds(self):
+        t = AttributeTable(2)
+        t.add_column("a", [1, 2])
+        with pytest.raises(GraphStructureError):
+            t.get("a", 5)
+
+    def test_as_dict(self):
+        t = AttributeTable(1)
+        t.add_column("a", [1])
+        t.add_column("b", ["x"])
+        assert t.as_dict(0) == {"a": 1, "b": "x"}
+
+
+class TestAttributedGraph:
+    def test_vertices_where(self, triangle_plus_tail):
+        ag = AttributedGraph(
+            triangle_plus_tail,
+            vertex_attrs={"type": ["a", "b", "a", "b"]},
+            edge_attrs={"kind": ["x"] * 4},
+        )
+        assert ag.vertices_where("type", "a").tolist() == [0, 2]
+        assert len(ag.edge_attributes) == 4

@@ -1,0 +1,160 @@
+"""Integration tests: full pipelines across subsystems."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import community, generators, kernels, metrics
+from repro.centrality import sampled_betweenness
+from repro.datasets import karate_club, load_surrogate
+from repro.graph import DynamicGraph, from_edge_list
+from repro.graph.builder import induced_subgraph
+from repro.graph.io import read_metis, write_metis
+from repro.parallel import ParallelContext
+from repro.partitioning import edge_cut, multilevel_kway, partition_balance
+
+
+class TestGenerateAnalyzeCluster:
+    """The paper's exploratory workflow, end to end."""
+
+    def test_planted_partition_pipeline(self):
+        pp = generators.planted_partition(
+            [40] * 5, 0.35, 0.01, rng=np.random.default_rng(0)
+        )
+        g = pp.graph
+        report = metrics.preprocess(g)
+        assert report.n_components == 1
+        assert report.pronounced_community_structure
+        result = community.pla(g, rng=np.random.default_rng(1))
+        # recovered partition must align with the planted one:
+        # most planted blocks map to a single found cluster
+        agreement = 0
+        for b in range(5):
+            found = result.labels[pp.labels == b]
+            agreement += np.max(np.bincount(found)) / found.shape[0]
+        assert agreement / 5 > 0.8
+
+    def test_rmat_pipeline_with_context(self):
+        g = generators.rmat(9, 6.0, rng=np.random.default_rng(2))
+        ctx = ParallelContext(16)
+        report = metrics.preprocess(g, ctx=ctx)
+        assert ctx.cost.total_work > 0
+        result = community.pma(g, ctx=ctx)
+        assert result.modularity > 0.1
+        assert ctx.cost.speedup(16) > 1.0
+
+    def test_directed_surrogate_clustering(self):
+        g = load_surrogate("Citations", scale=0.01, rng=np.random.default_rng(3))
+        und = g.as_undirected()
+        core, ids = induced_subgraph(und, kernels.largest_component(und))
+        assert core.n_vertices <= und.n_vertices
+        r = community.pla(core, rng=np.random.default_rng(0))
+        assert r.labels.shape[0] == core.n_vertices
+
+    def test_karate_all_algorithms_agree_on_structure(self):
+        g = karate_club()
+        results = {
+            "pla": community.pla(g, rng=np.random.default_rng(0)),
+            "pma": community.pma(g),
+            "pbd": community.pbd(g, rng=np.random.default_rng(0)),
+            "gn": community.girvan_newman(g),
+            "cnm": community.cnm(g),
+        }
+        for name, r in results.items():
+            assert r.modularity > 0.3, f"{name} failed on karate"
+            assert 2 <= r.n_clusters <= 8, name
+
+
+class TestRoundTripThroughFormats:
+    def test_generate_save_load_analyze(self, tmp_path):
+        g0 = generators.watts_strogatz(200, 6, 0.1, rng=np.random.default_rng(4))
+        buf = io.StringIO()
+        write_metis(g0, buf)
+        buf.seek(0)
+        g1 = read_metis(buf)
+        assert g1.n_edges == g0.n_edges
+        assert metrics.average_clustering(g1) == pytest.approx(
+            metrics.average_clustering(g0)
+        )
+        labels0 = kernels.connected_components(g0)
+        labels1 = kernels.connected_components(g1)
+        assert np.array_equal(labels0, labels1)
+
+    def test_dynamic_to_static_to_clustering(self):
+        dyn = DynamicGraph(30)
+        rng = np.random.default_rng(5)
+        # two dense blobs plus one cross edge
+        for block in (range(0, 15), range(15, 30)):
+            block = list(block)
+            for _ in range(60):
+                u, v = rng.choice(block, size=2, replace=False)
+                dyn.add_edge(int(u), int(v))
+        dyn.add_edge(0, 15)
+        g = dyn.to_csr()
+        r = community.pma(g)
+        assert r.n_clusters >= 2
+        assert (r.labels[:15] == r.labels[0]).all()
+        assert (r.labels[15:] == r.labels[15]).all()
+
+
+class TestPartitionThenAnalyze:
+    def test_partition_subgraphs_are_analyzable(self):
+        g = generators.road_network(500, 6, rng=np.random.default_rng(6))
+        parts = multilevel_kway(g, 4)
+        assert partition_balance(g, parts, 4) < 1.3
+        for p in range(4):
+            sub, _ = induced_subgraph(g, np.nonzero(parts == p)[0])
+            assert sub.n_vertices > 0
+            # each part is mostly internally connected
+            labels = kernels.connected_components(sub)
+            big = np.bincount(labels[labels >= 0]).max()
+            assert big > 0.5 * sub.n_vertices
+
+    def test_cut_consistency_with_compress(self):
+        from repro.graph.builder import compress_vertices
+
+        g = generators.gnm_random(120, 500, rng=np.random.default_rng(7))
+        parts = multilevel_kway(g, 4)
+        cut = edge_cut(g, parts)
+        quotient = compress_vertices(g, parts)
+        assert quotient.edge_weights().sum() == pytest.approx(cut)
+
+
+class TestDivisiveConsistency:
+    def test_view_deletions_match_fresh_graph(self):
+        """Clustering a view with deletions == clustering the rebuilt graph."""
+        g = karate_club()
+        view = g.view()
+        rng = np.random.default_rng(8)
+        drop = rng.choice(g.n_edges, size=10, replace=False)
+        for e in drop:
+            view.deactivate(int(e))
+        # rebuild without the deleted edges
+        u, v = g.edge_endpoints()
+        keep = np.ones(g.n_edges, dtype=bool)
+        keep[drop] = False
+        rebuilt = from_edge_list(
+            list(zip(u[keep].tolist(), v[keep].tolist())), n_vertices=34
+        )
+        a = kernels.connected_components(view)
+        b = kernels.connected_components(rebuilt)
+        assert np.array_equal(a, b)
+        vbc_a, _ = sampled_betweenness(view, sample_fraction=1.0)
+        vbc_b, _ = sampled_betweenness(rebuilt, sample_fraction=1.0)
+        assert np.allclose(vbc_a, vbc_b)
+
+    def test_pbd_trace_replay(self):
+        g = karate_club()
+        r = community.pbd(g, rng=np.random.default_rng(0))
+        trace = r.extras["trace"]
+        # replaying the deletions reproduces the best partition
+        view = g.view()
+        for e in trace.deleted_edges[: trace.best_step()]:
+            view.deactivate(e)
+        labels = kernels.connected_components(view)
+        assert community.modularity(g, labels) == pytest.approx(
+            trace.best_score
+        )

@@ -1,0 +1,245 @@
+"""Tests for MST/MSF, SSSP, spanning forest and biconnected kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.errors import GraphStructureError
+from repro.graph import from_edge_list, to_networkx
+from repro.kernels import (
+    biconnected_components,
+    articulation_points,
+    bridges,
+    boruvka_msf,
+    kruskal_msf,
+    prim_mst,
+    minimum_spanning_forest,
+    delta_stepping,
+    dijkstra,
+    spanning_forest,
+)
+from repro.kernels.mst import forest_weight
+from repro.kernels.spanning import tree_edges
+
+from tests.conftest import random_gnm
+
+
+def random_weighted(n, m, seed):
+    g = random_gnm(n, m, seed)
+    rng = np.random.default_rng(seed + 1)
+    u, v = g.edge_endpoints()
+    w = rng.uniform(0.1, 10.0, size=g.n_edges)
+    from repro.graph import from_edge_array
+
+    return from_edge_array(n, u, v, weights=w, directed=False, dedupe=False)
+
+
+class TestMST:
+    def test_boruvka_matches_kruskal_weight(self):
+        g = random_weighted(60, 150, seed=3)
+        wb = forest_weight(g, boruvka_msf(g))
+        wk = forest_weight(g, kruskal_msf(g))
+        assert wb == pytest.approx(wk)
+
+    def test_matches_networkx(self):
+        g = random_weighted(50, 120, seed=9)
+        gx = to_networkx(g)
+        ref = sum(
+            d["weight"] for _, _, d in nx.minimum_spanning_edges(gx, data=True)
+        )
+        assert forest_weight(g, boruvka_msf(g)) == pytest.approx(ref)
+
+    def test_forest_on_disconnected(self):
+        g = from_edge_list([(0, 1, 2.0), (1, 2, 3.0), (3, 4, 1.0)], n_vertices=6)
+        ids = boruvka_msf(g)
+        assert ids.shape[0] == 3  # n - #components = 6 - 3
+
+    def test_prim_single_component(self):
+        from repro.kernels import connected_components
+
+        # search a few seeds for a connected instance (deterministic)
+        for seed in range(21, 40):
+            g = random_weighted(40, 100, seed=seed)
+            if len(set(connected_components(g).tolist())) == 1:
+                break
+        else:  # pragma: no cover - m=100 ≫ n ln n, practically connected
+            pytest.fail("no connected instance found")
+        wp = forest_weight(g, prim_mst(g, 0))
+        wk = forest_weight(g, kruskal_msf(g))
+        assert wp == pytest.approx(wk)
+
+    def test_unweighted_graph_msf_size(self, two_triangles_bridge):
+        ids = boruvka_msf(two_triangles_bridge)
+        assert ids.shape[0] == 5  # spanning tree of 6 vertices
+
+    def test_tie_breaking_deterministic(self):
+        g = from_edge_list([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
+        a = boruvka_msf(g)
+        b = boruvka_msf(g)
+        assert np.array_equal(a, b)
+        assert a.shape[0] == 2
+
+    def test_directed_rejected(self):
+        g = from_edge_list([(0, 1)], directed=True)
+        with pytest.raises(GraphStructureError):
+            boruvka_msf(g)
+
+    def test_dispatch(self):
+        g = random_weighted(20, 40, seed=2)
+        assert np.array_equal(
+            minimum_spanning_forest(g, method="boruvka"),
+            minimum_spanning_forest(g, method="kruskal"),
+        )
+        with pytest.raises(ValueError):
+            minimum_spanning_forest(g, method="nope")
+
+
+class TestSSSP:
+    def test_delta_matches_dijkstra(self):
+        g = random_weighted(80, 240, seed=5)
+        a = delta_stepping(g, 0).distances
+        b = dijkstra(g, 0).distances
+        assert np.allclose(a, b, equal_nan=True)
+
+    def test_matches_networkx(self):
+        g = random_weighted(60, 180, seed=7)
+        gx = to_networkx(g)
+        ref = nx.single_source_dijkstra_path_length(gx, 0)
+        mine = delta_stepping(g, 0).distances
+        for v in range(60):
+            if v in ref:
+                assert mine[v] == pytest.approx(ref[v])
+            else:
+                assert np.isinf(mine[v])
+
+    def test_unit_weights_match_bfs(self):
+        from repro.kernels import bfs_distances
+
+        g = random_gnm(70, 200, seed=31)
+        d1 = delta_stepping(g, 2).distances
+        d0 = bfs_distances(g, 2).astype(float)
+        d0[d0 < 0] = np.inf
+        assert np.allclose(d1, d0)
+
+    def test_parents_valid(self):
+        g = random_weighted(50, 150, seed=13)
+        res = delta_stepping(g, 1)
+        for v in range(50):
+            if np.isfinite(res.distances[v]) and v != 1:
+                p = int(res.parents[v])
+                assert res.distances[v] == pytest.approx(
+                    res.distances[p] + g.edge_weight(p, v)
+                )
+
+    def test_negative_weight_rejected(self):
+        g = from_edge_list([(0, 1, -1.0)])
+        with pytest.raises(GraphStructureError):
+            delta_stepping(g, 0)
+        with pytest.raises(GraphStructureError):
+            dijkstra(g, 0)
+
+    def test_directed_sssp(self):
+        g = from_edge_list([(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)], directed=True)
+        d = delta_stepping(g, 0).distances
+        assert d.tolist() == [0.0, 1.0, 2.0]
+
+    def test_explicit_delta(self):
+        g = random_weighted(40, 120, seed=17)
+        a = delta_stepping(g, 0, delta=0.5).distances
+        b = delta_stepping(g, 0, delta=50.0).distances  # ~Bellman-Ford
+        c = dijkstra(g, 0).distances
+        assert np.allclose(a, c)
+        assert np.allclose(b, c)
+
+    def test_bad_delta(self):
+        g = from_edge_list([(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            delta_stepping(g, 0, delta=0.0)
+
+
+class TestSpanningForest:
+    def test_covers_all_vertices(self, disconnected_graph):
+        parent = spanning_forest(disconnected_graph)
+        assert (parent >= 0).all()
+        assert parent[0] == 0 and parent[3] == 3 and parent[5] == 5
+
+    def test_edge_count(self, two_triangles_bridge):
+        parent = spanning_forest(two_triangles_bridge)
+        assert tree_edges(parent).shape[0] == 5
+
+    def test_tree_edges_exist(self, two_triangles_bridge):
+        parent = spanning_forest(two_triangles_bridge)
+        for child, par in tree_edges(parent):
+            assert two_triangles_bridge.has_edge(int(child), int(par))
+
+
+class TestBiconnected:
+    def test_bridge_detection(self, two_triangles_bridge):
+        g = two_triangles_bridge
+        res = biconnected_components(g)
+        u, v = g.edge_endpoints()
+        bridge_sets = [
+            {int(u[e]), int(v[e])} for e in res.bridges
+        ]
+        assert bridge_sets == [{2, 3}]
+
+    def test_articulation_points(self, two_triangles_bridge):
+        arts = articulation_points(two_triangles_bridge)
+        assert arts.tolist() == [2, 3]
+
+    def test_component_count(self, two_triangles_bridge):
+        res = biconnected_components(two_triangles_bridge)
+        assert res.n_components == 3  # two triangles + the bridge
+
+    def test_against_networkx_random(self):
+        g = random_gnm(80, 100, seed=41)
+        gx = to_networkx(g)
+        mine_art = set(articulation_points(g).tolist())
+        ref_art = set(nx.articulation_points(gx))
+        assert mine_art == ref_art
+        u, v = g.edge_endpoints()
+        mine_br = {frozenset((int(u[e]), int(v[e]))) for e in bridges(g)}
+        ref_br = {frozenset(e) for e in nx.bridges(gx)}
+        assert mine_br == ref_br
+        assert biconnected_components(g).n_components == len(
+            list(nx.biconnected_components(gx))
+        )
+
+    def test_cycle_has_no_articulation(self):
+        g = from_edge_list([(i, (i + 1) % 8) for i in range(8)])
+        res = biconnected_components(g)
+        assert res.articulation_points.shape[0] == 0
+        assert res.bridge_mask.sum() == 0
+        assert res.n_components == 1
+
+    def test_path_all_bridges(self):
+        g = from_edge_list([(i, i + 1) for i in range(5)])
+        res = biconnected_components(g)
+        assert res.bridge_mask.all()
+        assert set(res.articulation_points.tolist()) == {1, 2, 3, 4}
+
+    def test_edge_mask(self, two_triangles_bridge):
+        g = two_triangles_bridge
+        view = g.view()
+        u, v = g.edge_endpoints()
+        # deactivate one triangle edge (0,1): 0-2-1 path keeps it biconnected? no
+        eid = next(i for i in range(g.n_edges) if {int(u[i]), int(v[i])} == {0, 1})
+        view.deactivate(eid)
+        res = biconnected_components(view)
+        # the two remaining edges of that triangle are now bridges
+        assert res.bridge_mask.sum() == 3
+        assert res.edge_component[eid] == -1
+
+    def test_directed_rejected(self):
+        g = from_edge_list([(0, 1)], directed=True)
+        with pytest.raises(GraphStructureError):
+            biconnected_components(g)
+
+    def test_empty_graph(self):
+        g = from_edge_list([], n_vertices=3)
+        res = biconnected_components(g)
+        assert res.n_components == 0
+        assert not res.articulation_mask.any()

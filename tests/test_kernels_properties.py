@@ -1,0 +1,173 @@
+"""Hypothesis property tests for the traversal and spanning kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import from_edge_array
+from repro.kernels import (
+    bfs,
+    boruvka_msf,
+    connected_components,
+    delta_stepping,
+    dijkstra,
+    kruskal_msf,
+    spanning_forest,
+    st_connectivity,
+)
+from repro.kernels.mst import forest_weight
+from repro.kernels.spanning import tree_edges
+
+
+def _graph(edges, n=14, weights=None):
+    src = np.asarray([e[0] for e in edges], dtype=np.int64)
+    dst = np.asarray([e[1] for e in edges], dtype=np.int64)
+    return from_edge_array(n, src, dst, weights=weights, directed=False)
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 13), st.integers(0, 13)),
+    min_size=0,
+    max_size=50,
+)
+
+
+@given(edge_lists, st.integers(0, 13))
+@settings(max_examples=60, deadline=None)
+def test_bfs_distance_is_shortest(edges, source):
+    """BFS distance satisfies the edge relaxation inequality tightly."""
+    g = _graph(edges)
+    d = bfs(g, source).distances
+    assert d[source] == 0
+    u, v = g.edge_endpoints()
+    for i in range(g.n_edges):
+        a, b = int(u[i]), int(v[i])
+        if d[a] >= 0 and d[b] >= 0:
+            assert abs(d[a] - d[b]) <= 1
+        else:
+            # an edge cannot connect reached and unreached vertices
+            assert (d[a] >= 0) == (d[b] >= 0)
+
+
+@given(edge_lists, st.integers(0, 13))
+@settings(max_examples=50, deadline=None)
+def test_bfs_parent_distances_decrease(edges, source):
+    g = _graph(edges)
+    res = bfs(g, source)
+    for v in range(14):
+        if res.distances[v] > 0:
+            p = int(res.parents[v])
+            assert res.distances[p] == res.distances[v] - 1
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_components_are_bfs_closures(edges):
+    g = _graph(edges)
+    labels = connected_components(g)
+    for v in range(14):
+        reached = bfs(g, v).reached
+        assert (labels[reached] == labels[v]).all()
+        assert not np.any(labels[~reached] == labels[v])
+
+
+@given(edge_lists, st.integers(0, 13), st.integers(0, 13))
+@settings(max_examples=60, deadline=None)
+def test_st_connectivity_matches_components(edges, s, t):
+    g = _graph(edges)
+    labels = connected_components(g)
+    assert st_connectivity(g, s, t) == (labels[s] == labels[t])
+
+
+@given(edge_lists)
+@settings(max_examples=40, deadline=None)
+def test_spanning_forest_size_invariant(edges):
+    """#tree edges == n − #components, and all tree edges exist."""
+    g = _graph(edges)
+    labels = connected_components(g)
+    n_comp = np.unique(labels).shape[0]
+    parent = spanning_forest(g)
+    te = tree_edges(parent)
+    assert te.shape[0] == 14 - n_comp
+    for child, par in te:
+        assert g.has_edge(int(child), int(par))
+
+
+weighted_edges = st.lists(
+    st.tuples(
+        st.integers(0, 13),
+        st.integers(0, 13),
+        st.floats(0.1, 10.0, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=50,
+)
+
+
+@given(weighted_edges)
+@settings(max_examples=40, deadline=None)
+def test_msf_engines_agree(edges):
+    g = _graph(
+        [(u, v) for u, v, _ in edges],
+        weights=np.asarray([w for _, _, w in edges]),
+    )
+    wb = forest_weight(g, boruvka_msf(g))
+    wk = forest_weight(g, kruskal_msf(g))
+    assert wb == pytest.approx(wk)
+
+
+@given(weighted_edges, st.integers(0, 13))
+@settings(max_examples=40, deadline=None)
+def test_sssp_engines_agree(edges, source):
+    g = _graph(
+        [(u, v) for u, v, _ in edges],
+        weights=np.asarray([w for _, _, w in edges]),
+    )
+    a = delta_stepping(g, source).distances
+    b = dijkstra(g, source).distances
+    assert np.allclose(a, b, equal_nan=True)
+
+
+@given(weighted_edges, st.integers(0, 13))
+@settings(max_examples=40, deadline=None)
+def test_sssp_triangle_inequality(edges, source):
+    g = _graph(
+        [(u, v) for u, v, _ in edges],
+        weights=np.asarray([w for _, _, w in edges]),
+    )
+    d = dijkstra(g, source).distances
+    u, v = g.edge_endpoints()
+    w = g.edge_weights()
+    for i in range(g.n_edges):
+        a, b = int(u[i]), int(v[i])
+        if np.isfinite(d[a]):
+            assert d[b] <= d[a] + w[i] + 1e-9
+        if np.isfinite(d[b]):
+            assert d[a] <= d[b] + w[i] + 1e-9
+
+
+@given(edge_lists, st.data())
+@settings(max_examples=40, deadline=None)
+def test_edge_mask_monotonicity(edges, data):
+    """Deleting edges can only disconnect, never connect."""
+    g = _graph(edges)
+    if g.n_edges == 0:
+        return
+    view = g.view()
+    before = connected_components(view)
+    k = data.draw(st.integers(1, g.n_edges))
+    drop = data.draw(
+        st.lists(
+            st.integers(0, g.n_edges - 1), min_size=k, max_size=k, unique=True
+        )
+    )
+    for e in drop:
+        view.deactivate(e)
+    after = connected_components(view)
+    # vertices separated before stay separated after
+    for a in range(14):
+        for b in range(a + 1, 14):
+            if before[a] != before[b]:
+                assert after[a] != after[b]

@@ -1,0 +1,250 @@
+"""Tests for SNA metrics and preprocessing against networkx oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.graph import from_edge_list, from_networkx, to_networkx
+from repro.metrics import (
+    average_degree,
+    degree_distribution,
+    degree_histogram,
+    density,
+    local_clustering_coefficients,
+    average_clustering,
+    global_clustering_coefficient,
+    triangle_counts,
+    average_shortest_path_length,
+    effective_diameter,
+    eccentricity_sample,
+    rich_club_coefficient,
+    degree_assortativity,
+    average_neighbor_degree,
+    neighbor_connectivity,
+    preprocess,
+    lethality_screen,
+    is_bipartite,
+)
+from repro.metrics.basic import degree_skewness
+
+from tests.conftest import random_gnm
+
+
+@pytest.fixture(scope="module")
+def karate():
+    gx = nx.karate_club_graph()
+    plain = nx.Graph()
+    plain.add_nodes_from(range(gx.number_of_nodes()))
+    plain.add_edges_from(gx.edges())
+    return from_networkx(plain)
+
+
+class TestBasic:
+    def test_average_degree(self, triangle_plus_tail):
+        assert average_degree(triangle_plus_tail) == pytest.approx(2.0)
+
+    def test_density(self, triangle_plus_tail):
+        assert density(triangle_plus_tail) == pytest.approx(4 / 6)
+
+    def test_degree_distribution_sums_to_one(self, karate):
+        _, p = degree_distribution(karate)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_degree_histogram_matches_networkx(self, karate):
+        ref = nx.degree_histogram(nx.karate_club_graph())
+        assert degree_histogram(karate).tolist() == ref
+
+    def test_empty(self):
+        g = from_edge_list([], n_vertices=0)
+        assert average_degree(g) == 0.0
+        assert density(g) == 0.0
+
+    def test_skewness_star_positive(self):
+        g = from_edge_list([(0, i) for i in range(1, 30)])
+        assert degree_skewness(g) > 2.0
+
+    def test_skewness_cycle_zero(self):
+        g = from_edge_list([(i, (i + 1) % 10) for i in range(10)])
+        assert degree_skewness(g) == 0.0
+
+
+class TestClustering:
+    def test_triangle_counts_matches_networkx(self, karate):
+        ref = nx.triangles(nx.karate_club_graph())
+        mine = triangle_counts(karate)
+        for v, t in ref.items():
+            assert mine[v] == t
+
+    def test_local_matches_networkx(self, karate):
+        ref = nx.clustering(nx.karate_club_graph())
+        mine = local_clustering_coefficients(karate)
+        for v, c in ref.items():
+            assert mine[v] == pytest.approx(c)
+
+    def test_average_matches_networkx(self, karate):
+        assert average_clustering(karate) == pytest.approx(
+            nx.average_clustering(nx.karate_club_graph())
+        )
+
+    def test_transitivity_matches_networkx(self):
+        g = random_gnm(60, 200, seed=37)
+        assert global_clustering_coefficient(g) == pytest.approx(
+            nx.transitivity(to_networkx(g))
+        )
+
+    def test_triangle_free(self):
+        g = from_edge_list([(i, i + 1) for i in range(6)])
+        assert triangle_counts(g).sum() == 0
+        assert average_clustering(g) == 0.0
+
+    def test_complete_graph(self):
+        g = from_edge_list([(i, j) for i in range(5) for j in range(i + 1, 5)])
+        assert np.allclose(local_clustering_coefficients(g), 1.0)
+        assert global_clustering_coefficient(g) == pytest.approx(1.0)
+
+    def test_edge_mask(self, two_triangles_bridge):
+        view = two_triangles_bridge.view()
+        u, v = two_triangles_bridge.edge_endpoints()
+        eid = next(
+            i
+            for i in range(two_triangles_bridge.n_edges)
+            if {int(u[i]), int(v[i])} == {0, 1}
+        )
+        view.deactivate(eid)
+        tri = triangle_counts(view)
+        assert tri[0] == 0 and tri[1] == 0  # first triangle broken
+        assert tri[3] == 1
+
+
+class TestPaths:
+    def test_aspl_matches_networkx(self, karate):
+        ref = nx.average_shortest_path_length(nx.karate_club_graph())
+        assert average_shortest_path_length(karate) == pytest.approx(ref)
+
+    def test_aspl_path_graph(self):
+        g = from_edge_list([(0, 1), (1, 2)])
+        # pairs: (0,1)=1,(0,2)=2,(1,2)=1 → mean 4/3
+        assert average_shortest_path_length(g) == pytest.approx(4 / 3)
+
+    def test_aspl_sampled_close(self, karate):
+        exact = average_shortest_path_length(karate)
+        est = average_shortest_path_length(
+            karate, n_samples=20, rng=np.random.default_rng(3)
+        )
+        assert est == pytest.approx(exact, rel=0.2)
+
+    def test_effective_diameter_cycle(self):
+        g = from_edge_list([(i, (i + 1) % 10) for i in range(10)])
+        assert effective_diameter(g, percentile=1.0) == 5.0
+        assert effective_diameter(g, percentile=0.5) <= 3.0
+
+    def test_eccentricity_bounds_diameter(self, karate):
+        _, max_ecc = eccentricity_sample(karate, n_samples=34)
+        assert max_ecc == nx.diameter(nx.karate_club_graph())
+
+    def test_bad_percentile(self, karate):
+        with pytest.raises(ValueError):
+            effective_diameter(karate, percentile=0.0)
+
+
+class TestRichClub:
+    def test_matches_networkx(self, karate):
+        ref = nx.rich_club_coefficient(
+            nx.karate_club_graph(), normalized=False
+        )
+        mine = rich_club_coefficient(karate)
+        assert set(mine) == set(ref)
+        for k in ref:
+            assert mine[k] == pytest.approx(ref[k])
+
+    def test_random_graph(self):
+        g = random_gnm(50, 160, seed=43)
+        gx = to_networkx(g)
+        ref = nx.rich_club_coefficient(gx, normalized=False)
+        mine = rich_club_coefficient(g)
+        for k in ref:
+            assert mine[k] == pytest.approx(ref[k])
+
+
+class TestAssortativity:
+    def test_matches_networkx(self, karate):
+        ref = nx.degree_assortativity_coefficient(nx.karate_club_graph())
+        assert degree_assortativity(karate) == pytest.approx(ref)
+
+    def test_random_graph(self):
+        g = random_gnm(80, 200, seed=47)
+        ref = nx.degree_assortativity_coefficient(to_networkx(g))
+        assert degree_assortativity(g) == pytest.approx(ref)
+
+    def test_star_disassortative(self):
+        g = from_edge_list([(0, i) for i in range(1, 10)])
+        assert degree_assortativity(g) < 0  # hub-leaf only
+
+    def test_average_neighbor_degree_matches(self, karate):
+        ref = nx.average_neighbor_degree(nx.karate_club_graph())
+        mine = average_neighbor_degree(karate)
+        for v, x in ref.items():
+            assert mine[v] == pytest.approx(x)
+
+    def test_knn_matches_networkx(self, karate):
+        ref = nx.k_nearest_neighbors(nx.karate_club_graph()) if hasattr(
+            nx, "k_nearest_neighbors"
+        ) else nx.average_degree_connectivity(nx.karate_club_graph())
+        mine = neighbor_connectivity(karate)
+        for k, x in ref.items():
+            assert mine[k] == pytest.approx(x)
+
+
+class TestPreprocess:
+    def test_bipartite_detection(self):
+        g = from_edge_list([(0, 3), (1, 3), (2, 4), (1, 4)])
+        assert is_bipartite(g)
+        g2 = from_edge_list([(0, 1), (1, 2), (2, 0)])
+        assert not is_bipartite(g2)
+
+    def test_bipartite_even_cycle(self):
+        g = from_edge_list([(i, (i + 1) % 8) for i in range(8)])
+        assert is_bipartite(g)
+
+    def test_lethality_screen(self, two_triangles_bridge):
+        # vertices 2, 3 are articulation points of degree 3 each
+        flagged = lethality_screen(two_triangles_bridge, degree_threshold=3)
+        assert flagged.tolist() == [2, 3]
+        assert lethality_screen(
+            two_triangles_bridge, degree_threshold=2
+        ).shape[0] == 0
+
+    def test_report_fields(self, karate):
+        rep = preprocess(karate)
+        assert rep.n_vertices == 34
+        assert rep.n_edges == 78
+        assert rep.n_components == 1
+        assert rep.largest_component_fraction == 1.0
+        assert rep.average_clustering == pytest.approx(
+            nx.average_clustering(nx.karate_club_graph())
+        )
+        assert not rep.bipartite
+        assert rep.looks_small_world
+
+    def test_report_disconnected(self, disconnected_graph):
+        rep = preprocess(disconnected_graph)
+        assert rep.n_components == 3
+        assert rep.largest_component_fraction == pytest.approx(0.5)
+
+    def test_mesh_not_small_world(self):
+        # 2D grid: constant degrees, no skew
+        edges = []
+        k = 8
+        for i in range(k):
+            for j in range(k):
+                v = i * k + j
+                if j + 1 < k:
+                    edges.append((v, v + 1))
+                if i + 1 < k:
+                    edges.append((v, v + k))
+        g = from_edge_list(edges)
+        rep = preprocess(g)
+        assert not rep.looks_small_world

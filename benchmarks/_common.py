@@ -10,6 +10,7 @@ full sizes only changes runtime, not the comparisons.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from pathlib import Path
@@ -31,6 +32,20 @@ def write_result(name: str, lines: list[str]) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text)
     print(f"\n=== {name} ===")
     print(text)
+
+
+def write_result_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable benchmark record (and echo it).
+
+    Used by the smoke/CI targets: JSON keeps the numbers diffable and
+    trend-trackable without parsing the human-oriented ``.txt`` tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n=== {name} ===")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return path
 
 
 def timed(fn: Callable, *args, **kwargs) -> tuple[object, float]:

@@ -1,0 +1,65 @@
+"""Batched vs. looped traversal engines: the win is measured, not asserted.
+
+Two targets share one harness:
+
+* ``test_batched_brandes_smoke`` — a small-graph run for CI: checks
+  parity, records the speedup to ``results/batched_traversal_smoke.json``
+  and asserts only that batching is not a regression (tiny graphs leave
+  little per-source loop overhead to amortize).
+* ``test_batched_brandes_speedup_acceptance`` (marker
+  ``benchmark_full``) — the acceptance measurement: all-sources
+  betweenness on a ~10k-vertex / ~100k-edge R-MAT graph must run ≥ 3×
+  faster batched than looped, with results identical to 1e-9.  Run it
+  with ``pytest benchmarks/test_batched_traversal.py -m benchmark_full``.
+
+Both engines produce vertex *and* edge betweenness, so the comparison
+covers the full Girvan–Newman / pBD recomputation workload (paper §2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import bench_scale, timed, write_result_json
+from repro.centrality.betweenness import brandes
+from repro.generators import rmat
+
+
+def _compare_engines(graph, sources, name):
+    looped, t_looped = timed(brandes, graph, sources=sources, engine="looped")
+    batched, t_batched = timed(brandes, graph, sources=sources, engine="batched")
+    np.testing.assert_allclose(batched.vertex, looped.vertex, rtol=1e-9, atol=1e-9)
+    np.testing.assert_allclose(batched.edge, looped.edge, rtol=1e-9, atol=1e-9)
+    speedup = t_looped / max(t_batched, 1e-12)
+    write_result_json(
+        name,
+        {
+            "n_vertices": graph.n_vertices,
+            "n_edges": graph.n_edges,
+            "n_sources": len(sources),
+            "looped_seconds": round(t_looped, 4),
+            "batched_seconds": round(t_batched, 4),
+            "speedup": round(speedup, 3),
+            "max_vertex_diff": float(np.abs(batched.vertex - looped.vertex).max()),
+        },
+    )
+    return speedup
+
+
+def test_batched_brandes_smoke():
+    """CI smoke target: small graph, parity + JSON record, minutes not hours."""
+    scale = max(8, int(round(10 * bench_scale())))
+    graph = rmat(scale, 8.0, rng=np.random.default_rng(0))
+    sources = list(range(min(graph.n_vertices, 128)))
+    speedup = _compare_engines(graph, sources, "batched_traversal_smoke")
+    assert speedup > 1.0
+
+
+@pytest.mark.benchmark_full
+def test_batched_brandes_speedup_acceptance():
+    """All-sources betweenness on ~10k vertices / ~100k edges: ≥ 3×."""
+    graph = rmat(13, 12.2, rng=np.random.default_rng(42))
+    sources = list(range(graph.n_vertices))
+    speedup = _compare_engines(graph, sources, "batched_traversal_acceptance")
+    assert speedup >= 3.0

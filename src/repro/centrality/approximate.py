@@ -25,9 +25,15 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import GraphStructureError
-from repro.centrality.betweenness import _single_source_accumulate
+from repro.centrality.betweenness import _brandes_batch, brandes
 from repro.kernels._frontier import GraphLike, unwrap
+from repro.kernels.bfs import default_batch_size
 from repro.parallel.runtime import ParallelContext, ensure_context
+
+#: Lane cap for *adaptive* sampling batches: the stopping rule is
+#: checked per sample, so a full traversal batch is speculative work —
+#: keep it small enough that overshoot past the stopping point is cheap.
+ADAPTIVE_BATCH_CAP = 16
 
 
 @dataclass
@@ -67,23 +73,28 @@ def approximate_vertex_betweenness(
     rng = rng or np.random.default_rng(0)
     order = rng.permutation(n)
     budget = max(1, int(np.ceil(max_fraction * n)))
-    vertex_acc = np.zeros(n, dtype=np.float64)
-    edge_acc = np.zeros(graph.n_edges, dtype=np.float64)
     s_total = 0.0
     k = 0
     stopped = False
+    lanes = min(ADAPTIVE_BATCH_CAP, default_batch_size(n))
     with ctx.region():
         per = float(max(1, graph.n_arcs))
-        for s in order[:budget]:
-            before = vertex_acc[v]
-            _single_source_accumulate(
-                graph, edge_active, int(s), vertex_acc, edge_acc, ctx, False
-            )
-            ctx.phase(per, per)  # one traversal = one sequential sample
-            s_total += vertex_acc[v] - before
-            k += 1
-            if s_total >= c * n:
-                stopped = True
+        # Sources traverse in batched lanes; the stopping rule is still
+        # applied one sample at a time (lanes are independent, so the
+        # per-source dependency of ``v`` is exactly ``delta[lane, v]``),
+        # which preserves the adaptive estimator's semantics.
+        for start in range(0, budget, lanes):
+            batch = order[start : start + lanes]
+            delta, _ = _brandes_batch(graph, edge_active, batch, ctx, False)
+            dep_v = delta[:, v]
+            for j in range(batch.shape[0]):
+                ctx.phase(per, per)  # one traversal = one sequential sample
+                s_total += float(dep_v[j])
+                k += 1
+                if s_total >= c * n:
+                    stopped = True
+                    break
+            if stopped:
                 break
     if k == 0:
         return AdaptiveSampleResult(0.0, 0, False)
@@ -97,6 +108,7 @@ def sampled_betweenness(
     *,
     sample_fraction: float = 0.05,
     min_samples: int = 4,
+    batch_size: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     ctx: Optional[ParallelContext] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -119,15 +131,15 @@ def sampled_betweenness(
     rng = rng or np.random.default_rng(0)
     k = min(n, max(min_samples, int(np.ceil(sample_fraction * n))))
     sources = rng.choice(n, size=k, replace=False)
-    vertex_acc = np.zeros(n, dtype=np.float64)
-    edge_acc = np.zeros(graph.n_edges, dtype=np.float64)
-    with ctx.region():
-        # Coarse-grained: the k traversals are the parallel tasks.
-        per = float(max(1, graph.n_arcs))
-        ctx.phase(per * k, per)
-        for s in sources:
-            _single_source_accumulate(
-                graph, edge_active, int(s), vertex_acc, edge_acc, ctx, False
-            )
-    scale = (n / k) / 2.0
-    return vertex_acc * scale, edge_acc * scale
+    # The sampled sweep *is* an exact Brandes run over the sampled
+    # sources — route it through the batched engine (coarse-grained, so
+    # the k traversals are the backend's parallel tasks) and extrapolate.
+    res = brandes(
+        g,
+        sources=[int(s) for s in sources],
+        granularity="coarse",
+        batch_size=batch_size,
+        ctx=ctx,
+    )
+    scale = n / k
+    return res.vertex * scale, res.edge * scale

@@ -5,9 +5,11 @@ Wasserman–Faust factor ``(r - 1)/(n - 1)`` (the same convention as
 networkx's ``wf_improved``), so scores remain comparable across
 components.
 
-The all-vertices computation distributes the n traversals across
-workers (coarse-grained, exactly like exact betweenness); ``sources``
-restricts to a sampled subset for the large-graph estimate.
+Unweighted sources are traversed by the batched multi-source engine:
+``batch_size`` lanes share one vectorized BFS sweep
+(:func:`~repro.kernels.bfs.msbfs`), and source batches execute on the
+context's serial/thread/process backend.  Weighted graphs fall back to
+per-source Dijkstra (inherently sequential per source).
 """
 
 from __future__ import annotations
@@ -16,10 +18,25 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.graph.csr import EdgeSubsetView
 from repro.kernels._frontier import GraphLike, unwrap
-from repro.kernels.bfs import bfs_distances
+from repro.kernels.bfs import msbfs, source_batches
 from repro.kernels.sssp import dijkstra
 from repro.parallel.runtime import ParallelContext, ensure_context
+
+
+def _closeness_batch_worker(graph, batch, payload):
+    """One source batch → per-lane ``(reached_count, distance_total)``.
+
+    Module-level so the process backend can ship it by reference; the
+    payload is the optional edge-activity mask.
+    """
+    g: GraphLike = graph if payload is None else EdgeSubsetView(graph, payload)
+    dist = msbfs(g, batch).distances
+    reached = dist >= 0
+    r = reached.sum(axis=1)
+    total = np.where(reached, dist, 0).sum(axis=1).astype(np.float64)
+    return r.astype(np.int64), total
 
 
 def closeness_centrality(
@@ -27,42 +44,66 @@ def closeness_centrality(
     *,
     sources: Optional[Sequence[int]] = None,
     wf_improved: bool = True,
+    batch_size: Optional[int] = None,
     ctx: Optional[ParallelContext] = None,
 ) -> np.ndarray:
     """Closeness centrality for ``sources`` (default: every vertex).
 
-    Unweighted graphs use BFS distances; weighted graphs use Dijkstra.
-    Directed graphs measure *incoming* distance (networkx convention),
-    computed on the reversed graph.
+    Unweighted graphs use batched BFS distances; weighted graphs use
+    Dijkstra.  Directed graphs measure *incoming* distance (networkx
+    convention), computed on the reversed graph.
     """
-    graph, _ = unwrap(g)
+    graph, edge_active = unwrap(g)
     ctx = ensure_context(ctx)
     n = graph.n_vertices
-    work_g: GraphLike = g
-    if graph.directed:
-        # d(u -> v) for all u is a traversal of the transpose from v.
-        work_g = graph.reverse()
     if sources is None:
         sources = range(n)
+    src_list = list(sources)
     out = np.zeros(n, dtype=np.float64)
+    per_traversal = max(1.0, float(graph.n_arcs))
 
-    def one(v: int) -> None:
-        if graph.is_weighted:
+    if graph.is_weighted:
+        work_g: GraphLike = g
+        if graph.directed:
+            # d(u -> v) for all u is a traversal of the transpose from v.
+            work_g = graph.reverse()
+
+        def one(v: int) -> None:
             dist = dijkstra(work_g, v).distances
             reached = np.isfinite(dist)
-        else:
-            dist = bfs_distances(work_g, v).astype(np.float64)
-            reached = dist >= 0
-        r = int(reached.sum())
-        total = float(dist[reached].sum())
-        if r <= 1 or total <= 0:
-            out[v] = 0.0
-            return
-        cc = (r - 1) / total
-        if wf_improved and n > 1:
-            cc *= (r - 1) / (n - 1)
-        out[v] = cc
+            r = int(reached.sum())
+            total = float(dist[reached].sum())
+            if r <= 1 or total <= 0:
+                out[v] = 0.0
+                return
+            cc = (r - 1) / total
+            if wf_improved and n > 1:
+                cc *= (r - 1) / (n - 1)
+            out[v] = cc
 
-    src_list = list(sources)
-    ctx.map(one, src_list, costs=[max(1.0, float(graph.n_arcs)) for _ in src_list])
+        ctx.map(one, src_list, costs=[per_traversal for _ in src_list])
+        return out
+
+    if graph.directed:
+        # Edge masks index the forward graph's edge ids; the transpose
+        # renumbers them, so directed closeness drops the mask (as the
+        # original per-source path did).
+        base, mask = graph.reverse(), None
+    else:
+        base, mask = graph, edge_active
+    batches = source_batches(src_list, batch_size, n)
+    results = ctx.map_batches(
+        _closeness_batch_worker,
+        base,
+        batches,
+        payload=mask,
+        costs=[per_traversal * len(b) for b in batches],
+    )
+    for batch, (r, total) in zip(batches, results):
+        valid = (r > 1) & (total > 0)
+        cc = np.zeros(batch.shape[0], dtype=np.float64)
+        cc[valid] = (r[valid] - 1) / total[valid]
+        if wf_improved and n > 1:
+            cc[valid] *= (r[valid] - 1) / (n - 1)
+        out[batch] = cc
     return out

@@ -28,6 +28,8 @@ def girvan_newman(
     max_iterations: Optional[int] = None,
     patience: Optional[int] = None,
     max_stall: Optional[int] = None,
+    engine: str = "batched",
+    batch_size: Optional[int] = None,
     ctx: Optional[ParallelContext] = None,
 ) -> ClusteringResult:
     """Exact edge-betweenness divisive clustering.
@@ -35,10 +37,22 @@ def girvan_newman(
     ``patience`` stops the run after that many component *splits*
     without a modularity improvement (the full run removes every edge);
     the best partition seen is returned either way.
+
+    Each iteration's exact edge-betweenness recomputation is a
+    per-source traversal workload, so it runs on the batched
+    multi-source engine by default (``engine``/``batch_size`` are
+    forwarded to :func:`~repro.centrality.betweenness.brandes`, and the
+    batches execute on ``ctx``'s configured backend).
     """
 
     def score(view: EdgeSubsetView, members: np.ndarray, c: ParallelContext):
-        return brandes(view, sources=members.tolist(), ctx=c).edge
+        return brandes(
+            view,
+            sources=members.tolist(),
+            engine=engine,
+            batch_size=batch_size,
+            ctx=c,
+        ).edge
 
     trace, labels, _, ctx = divisive_clustering(
         graph,

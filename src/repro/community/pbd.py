@@ -44,6 +44,8 @@ def pbd(
     max_iterations: Optional[int] = None,
     patience: Optional[int] = None,
     max_stall: Optional[int] = None,
+    engine: str = "batched",
+    batch_size: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     ctx: Optional[ParallelContext] = None,
 ) -> ClusteringResult:
@@ -61,6 +63,11 @@ def pbd(
     traversals, not the fraction, so the paper's 5 % — which is 20k
     sources on its 400k-vertex instances — must not degenerate to a
     handful of sources on small components.
+
+    Both the sampled and the exact rescoring paths are per-source
+    traversal workloads; ``engine``/``batch_size`` select the batched
+    multi-source engine (default) or the looped baseline, and batches
+    execute on ``ctx``'s configured serial/thread/process backend.
     """
     if not 0.0 < sample_fraction <= 1.0:
         raise ValueError("sample_fraction must be in (0, 1]")
@@ -74,7 +81,12 @@ def pbd(
             # Coarse-grained exact scoring of a small component.
             sampling_calls["exact"] += 1
             return brandes(
-                view, sources=members.tolist(), granularity="coarse", ctx=c
+                view,
+                sources=members.tolist(),
+                granularity="coarse",
+                engine=engine,
+                batch_size=batch_size,
+                ctx=c,
             ).edge
         sampling_calls["approx"] += 1
         k = min(
@@ -82,7 +94,14 @@ def pbd(
             max(min_samples, int(np.ceil(sample_fraction * members.shape[0]))),
         )
         srcs = rng.choice(members, size=k, replace=False)
-        res = brandes(view, sources=srcs.tolist(), granularity="coarse", ctx=c)
+        res = brandes(
+            view,
+            sources=srcs.tolist(),
+            granularity="coarse",
+            engine=engine,
+            batch_size=batch_size,
+            ctx=c,
+        )
         # Extrapolate to the full component (ranking is what matters).
         return res.edge * (members.shape[0] / k)
 

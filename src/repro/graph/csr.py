@@ -70,6 +70,7 @@ class Graph:
         "_n_edges",
         "_degrees",
         "_edge_endpoints",
+        "_arc_sources",
     )
 
     def __init__(
@@ -104,6 +105,7 @@ class Graph:
             self._n_edges = int(targets.shape[0]) // 2
         self._degrees: Optional[np.ndarray] = None
         self._edge_endpoints: Optional[tuple[np.ndarray, np.ndarray]] = None
+        self._arc_sources: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Size accessors
@@ -191,10 +193,17 @@ class Graph:
         return self._arc_edge_ids
 
     def arc_sources(self) -> np.ndarray:
-        """Source vertex of every arc — ``repeat`` expansion of offsets."""
-        return np.repeat(
-            np.arange(self.n_vertices, dtype=VERTEX_DTYPE), self.degrees()
-        )
+        """Source vertex of every arc — ``repeat`` expansion of offsets.
+
+        Cached: weighted Brandes' backward sweep and the batched frontier
+        expansion both resolve arcs back to their sources per arc, which
+        would otherwise cost an O(log n) ``searchsorted`` each.
+        """
+        if self._arc_sources is None:
+            self._arc_sources = np.repeat(
+                np.arange(self.n_vertices, dtype=VERTEX_DTYPE), self.degrees()
+            )
+        return self._arc_sources
 
     def edge_endpoints(self) -> tuple[np.ndarray, np.ndarray]:
         """Canonical ``(u, v)`` endpoint arrays indexed by edge id.

@@ -10,8 +10,12 @@ latter.
 
 from repro.kernels.bfs import (
     BFSResult,
+    MSBFSResult,
     bfs,
     bfs_distances,
+    default_batch_size,
+    msbfs,
+    source_batches,
     st_connectivity,
 )
 from repro.kernels.connected import (
@@ -41,8 +45,12 @@ from repro.kernels.spanning import spanning_forest
 
 __all__ = [
     "BFSResult",
+    "MSBFSResult",
     "bfs",
     "bfs_distances",
+    "default_batch_size",
+    "msbfs",
+    "source_batches",
     "st_connectivity",
     "connected_components",
     "component_sizes",

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.errors import GraphStructureError
 from repro.kernels._frontier import GraphLike, unwrap
-from repro.kernels.bfs import bfs
+from repro.kernels.bfs import default_batch_size, msbfs
 from repro.parallel.runtime import ParallelContext, ensure_context
 
 
@@ -86,6 +86,10 @@ def _sv_components(g: GraphLike, ctx: Optional[ParallelContext]) -> np.ndarray:
 
 
 def _bfs_components(g: GraphLike, ctx: Optional[ParallelContext]) -> np.ndarray:
+    """Repeated BFS, batched: each round seeds a multi-source traversal
+    from the smallest still-unlabeled vertices (one lane each), so whole
+    groups of components are swept in one vectorized pass instead of one
+    Python-level BFS per component."""
     graph, _ = unwrap(g)
     ctx = ensure_context(ctx)
     if graph.directed:
@@ -94,11 +98,18 @@ def _bfs_components(g: GraphLike, ctx: Optional[ParallelContext]) -> np.ndarray:
         return _sv_components(g, ctx)
     n = graph.n_vertices
     label = np.full(n, -1, dtype=np.int64)
-    for v in range(n):
-        if label[v] >= 0:
-            continue
-        res = bfs(g, v, ctx=ctx)
-        label[res.reached] = v
+    k = default_batch_size(n)
+    while True:
+        unlabeled = np.nonzero(label < 0)[0]
+        if unlabeled.shape[0] == 0:
+            break
+        seeds = unlabeled[:k]
+        reached = msbfs(g, seeds, ctx=ctx).reached
+        # Seeds are ascending, so the first lane reaching a vertex is
+        # the smallest seed in its component — the canonical label.
+        hit = reached.any(axis=0)
+        first_lane = reached.argmax(axis=0)
+        label[hit] = seeds[first_lane[hit]]
     return label
 
 

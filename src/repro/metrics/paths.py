@@ -3,6 +3,12 @@
 Exact all-pairs computation is O(nm); for large graphs a sampled
 estimate (sources drawn uniformly) is provided, which is how SNAP keeps
 these metrics "linear or sub-linear" in practice on massive inputs.
+
+All three metrics are one-BFS-per-source workloads, so they share a
+single batched worker: sources traverse in multi-source lanes
+(:func:`~repro.kernels.bfs.msbfs`) and the batches execute on the
+context's serial/thread/process backend via
+:meth:`~repro.parallel.runtime.ParallelContext.map_batches`.
 """
 
 from __future__ import annotations
@@ -12,8 +18,9 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import GraphStructureError
+from repro.graph.csr import EdgeSubsetView
 from repro.kernels._frontier import GraphLike, unwrap
-from repro.kernels.bfs import bfs_distances
+from repro.kernels.bfs import msbfs, source_batches
 from repro.parallel.runtime import ParallelContext, ensure_context
 
 
@@ -21,6 +28,38 @@ def _sources(n: int, n_samples: Optional[int], rng: np.random.Generator) -> np.n
     if n_samples is None or n_samples >= n:
         return np.arange(n, dtype=np.int64)
     return rng.choice(n, size=n_samples, replace=False)
+
+
+def _distance_stats_batch(graph, batch, payload):
+    """One source batch → ``(sum, pairs, histogram, per-lane ecc)``.
+
+    The shared per-source-distance reduction behind all three metrics;
+    module-level so the process backend can ship it by reference.
+    ``payload`` is the optional edge-activity mask.
+    """
+    g: GraphLike = graph if payload is None else EdgeSubsetView(graph, payload)
+    dist = msbfs(g, batch).distances
+    pos = dist > 0
+    vals = dist[pos]
+    hist = np.bincount(vals) if vals.shape[0] else np.zeros(0, dtype=np.int64)
+    # Unreached entries are -1, so a plain row-max is each lane's
+    # eccentricity (the source itself contributes 0).
+    ecc = dist.max(axis=1)
+    return float(vals.sum()), int(pos.sum()), hist, ecc
+
+
+def _batched_stats(g: GraphLike, srcs: np.ndarray, ctx: ParallelContext):
+    """Run the shared distance-stats worker over batched sources."""
+    graph, edge_active = unwrap(g)
+    batches = source_batches(srcs, None, graph.n_vertices)
+    per = float(max(1, graph.n_arcs))
+    return ctx.map_batches(
+        _distance_stats_batch,
+        graph,
+        batches,
+        payload=edge_active,
+        costs=[per * len(b) for b in batches],
+    )
 
 
 def average_shortest_path_length(
@@ -44,13 +83,9 @@ def average_shortest_path_length(
     srcs = _sources(n, n_samples, rng)
     total = 0.0
     pairs = 0
-    per = float(max(1, graph.n_arcs))
-    ctx.phase(per * srcs.shape[0], per)
-    for s in srcs:
-        d = bfs_distances(g, int(s))
-        reach = d > 0
-        total += float(d[reach].sum())
-        pairs += int(reach.sum())
+    for batch_total, batch_pairs, _, _ in _batched_stats(g, srcs, ctx):
+        total += batch_total
+        pairs += batch_pairs
     if pairs == 0:
         return 0.0
     return total / pairs
@@ -78,20 +113,19 @@ def effective_diameter(
         return 0.0
     rng = rng or np.random.default_rng(0)
     srcs = _sources(n, n_samples, rng)
-    counts: dict[int, int] = {}
-    per = float(max(1, graph.n_arcs))
-    ctx.phase(per * srcs.shape[0], per)
-    for s in srcs:
-        d = bfs_distances(g, int(s))
-        vals, cnt = np.unique(d[d > 0], return_counts=True)
-        for v, c in zip(vals.tolist(), cnt.tolist()):
-            counts[v] = counts.get(v, 0) + c
-    if not counts:
+    hist = np.zeros(0, dtype=np.int64)
+    for _, _, batch_hist, _ in _batched_stats(g, srcs, ctx):
+        if batch_hist.shape[0] > hist.shape[0]:
+            batch_hist = batch_hist.copy()
+            batch_hist[: hist.shape[0]] += hist
+            hist = batch_hist
+        else:
+            hist[: batch_hist.shape[0]] += batch_hist
+    if hist.shape[0] == 0 or hist.sum() == 0:
         return 0.0
-    ds = np.asarray(sorted(counts))
-    cum = np.cumsum([counts[int(x)] for x in ds])
+    cum = np.cumsum(hist)
     target = percentile * cum[-1]
-    return float(ds[int(np.searchsorted(cum, target))])
+    return float(np.searchsorted(cum, target))
 
 
 def eccentricity_sample(
@@ -112,11 +146,7 @@ def eccentricity_sample(
         raise GraphStructureError("graph has no vertices")
     rng = rng or np.random.default_rng(0)
     srcs = _sources(n, n_samples, rng)
-    eccs = []
-    per = float(max(1, graph.n_arcs))
-    ctx.phase(per * srcs.shape[0], per)
-    for s in srcs:
-        d = bfs_distances(g, int(s))
-        reached = d[d >= 0]
-        eccs.append(int(reached.max()) if reached.shape[0] else 0)
-    return float(np.mean(eccs)), int(max(eccs))
+    eccs = np.concatenate(
+        [ecc for _, _, _, ecc in _batched_stats(g, srcs, ctx)]
+    )
+    return float(np.mean(eccs)), int(eccs.max())

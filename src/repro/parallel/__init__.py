@@ -1,18 +1,26 @@
 """Parallel runtime substrate: execution context, cost model, scheduling.
 
 The paper's kernels run with POSIX threads / OpenMP on a Sun Fire T2000.
-CPython's GIL (and this container's single core) make genuine
-shared-memory thread scaling impossible, so this package faithfully
-executes each kernel's *parallel decomposition* (same phases, same
-chunking, same barrier structure) while recording a PRAM-style
-work–span/synchronization profile.  :class:`~repro.parallel.costmodel.CostModel`
-turns that profile into modeled execution times for ``p`` processors,
-which is what the Figure 2/3 harnesses report (see DESIGN.md §3,
-substitution 1).
+CPython's GIL makes genuine shared-memory *thread* scaling impossible
+for Python-level work, so this package does two things at once:
+
+* it faithfully executes each kernel's *parallel decomposition* (same
+  phases, same chunking, same barrier structure) while recording a
+  PRAM-style work–span/synchronization profile —
+  :class:`~repro.parallel.costmodel.CostModel` turns that profile into
+  modeled execution times for ``p`` processors, which is what the
+  Figure 2/3 harnesses report (see DESIGN.md §3, substitution 1); and
+* it offers **real execution backends** for coarse-grained task maps:
+  ``backend="thread"`` (persistent thread pool, for GIL-releasing NumPy
+  work) and ``backend="process"`` (persistent process pool with
+  zero-copy CSR handoff over POSIX shared memory — see
+  :mod:`repro.parallel.shm`), so per-source traversal batches run on
+  real cores when the hardware has them.
 """
 
 from repro.parallel.costmodel import CostModel, MachineModel
 from repro.parallel.runtime import ParallelContext
+from repro.parallel.shm import GraphSpec, SharedGraph, attach_graph, share_graph
 from repro.parallel.partitioner import (
     balanced_chunks,
     chunk_ranges,
@@ -25,6 +33,10 @@ __all__ = [
     "CostModel",
     "MachineModel",
     "ParallelContext",
+    "GraphSpec",
+    "SharedGraph",
+    "attach_graph",
+    "share_graph",
     "balanced_chunks",
     "chunk_ranges",
     "imbalance_factor",

@@ -8,9 +8,20 @@ thread count.  It bundles
   work/span/sync profile,
 * :class:`~repro.parallel.sync.SyncCounters` for lock/CAS accounting,
 * chunking policy (degree-aware or oblivious — paper §3), and
-* an optional real ``ThreadPoolExecutor`` for coarse-grained task maps
-  (per-component clustering, per-source traversals), where Python-level
-  concurrency is actually well-formed even under the GIL.
+* a real execution **backend** for coarse-grained task maps
+  (per-component clustering, per-source traversal batches):
+
+  - ``backend="serial"`` — sequential, deterministic (the default);
+  - ``backend="thread"`` — a persistent ``ThreadPoolExecutor`` (useful
+    when tasks release the GIL inside NumPy);
+  - ``backend="process"`` — a persistent ``ProcessPoolExecutor``;
+    :meth:`map_batches` hands graphs to workers zero-copy through
+    ``multiprocessing.shared_memory`` (see :mod:`repro.parallel.shm`).
+
+  Pools are created lazily, reused across calls, and released by
+  :meth:`close` / :meth:`reset` or the context-manager protocol.
+  Whatever the backend, the cost model keeps recording the *modeled*
+  phase structure, so Figure 2/3 style profiles stay comparable.
 
 Kernels that take ``ctx=None`` construct a throwaway single-worker
 context, so the instrumentation is always exercised.
@@ -18,7 +29,8 @@ context, so the instrumentation is always exercised.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
@@ -38,6 +50,16 @@ R = TypeVar("R")
 DEFAULT_THREAD_COUNTS = (1, 2, 4, 8, 12, 16, 24, 32)
 """Thread counts swept by the paper's Figure 2 experiments."""
 
+BACKENDS = ("serial", "thread", "process")
+
+
+def _picklable_by_reference(fn: Callable) -> bool:
+    """True if ``fn`` pickles by reference (a module-level function)."""
+    try:
+        return pickle.loads(pickle.dumps(fn)) is fn
+    except Exception:
+        return False
+
 
 class ParallelContext:
     """Execution context carrying worker count and instrumentation."""
@@ -48,15 +70,27 @@ class ParallelContext:
         *,
         degree_aware: bool = True,
         use_threads: bool = False,
+        backend: Optional[str] = None,
         machine: Optional[MachineModel] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if backend is None:
+            backend = "thread" if use_threads else "serial"
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}")
         self.n_workers = int(n_workers)
         self.degree_aware = bool(degree_aware)
-        self.use_threads = bool(use_threads)
+        self.backend = backend
+        # Back-compat alias: "does this context run on real workers?".
+        self.use_threads = backend != "serial"
         self.cost = CostModel(machine)
         self.sync = SyncCounters()
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        # id(graph) -> (graph, SharedGraph); the strong graph reference
+        # keeps the id stable while the shared segment is cached.
+        self._shared_graphs: dict = {}
 
     # ------------------------------------------------------------------
     # Instrumentation passthroughs
@@ -132,6 +166,53 @@ class ParallelContext:
         self.phase(total, max_item)
 
     # ------------------------------------------------------------------
+    # Execution backend plumbing
+    # ------------------------------------------------------------------
+    def _ensure_thread_pool(self) -> ThreadPoolExecutor:
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(max_workers=self.n_workers)
+        return self._thread_pool
+
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        if self._process_pool is None:
+            self._process_pool = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._process_pool
+
+    def _shared_graph(self, graph):
+        """Shared-memory handle for ``graph``, cached per context."""
+        from repro.parallel import shm as _shm
+
+        entry = self._shared_graphs.get(id(graph))
+        if entry is None or entry[0] is not graph:
+            entry = (graph, _shm.share_graph(graph))
+            self._shared_graphs[id(graph)] = entry
+        return entry[1]
+
+    def close(self) -> None:
+        """Release the persistent pools and any shared graph segments."""
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
+        for _, shared in self._shared_graphs.values():
+            shared.close()
+        self._shared_graphs.clear()
+
+    def __enter__(self) -> "ParallelContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - gc timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
     # Coarse-grained task execution
     # ------------------------------------------------------------------
     def map(
@@ -143,11 +224,13 @@ class ParallelContext:
     ) -> list[R]:
         """Apply ``fn`` to every item, recording one parallel phase.
 
-        With ``use_threads`` and more than one worker, items run on a
-        real thread pool (useful when ``fn`` releases the GIL in NumPy);
-        otherwise execution is sequential and deterministic.  Either way
-        the phase is charged ``sum(costs)`` work with ``max(costs)``
-        granularity (costs default to 1 per item).
+        With a non-serial backend and more than one worker, items run on
+        the context's persistent pool — threads by default; real
+        processes when ``backend="process"`` *and* ``fn`` pickles by
+        reference (closures fall back to the thread pool).  Otherwise
+        execution is sequential and deterministic.  Either way the phase
+        is charged ``sum(costs)`` work with ``max(costs)`` granularity
+        (costs default to 1 per item).
         """
         items = list(items)
         if costs is None:
@@ -159,10 +242,69 @@ class ParallelContext:
         if items:
             self.cost.region()
             self.phase(float(cost_arr.sum()), float(cost_arr.max()))
-        if self.use_threads and self.n_workers > 1 and len(items) > 1:
-            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-                return list(pool.map(fn, items))
+        if self.backend != "serial" and self.n_workers > 1 and len(items) > 1:
+            if self.backend == "process" and _picklable_by_reference(fn):
+                pool: object = self._ensure_process_pool()
+            else:
+                pool = self._ensure_thread_pool()
+            return list(pool.map(fn, items))
         return [fn(item) for item in items]
+
+    def map_batches(
+        self,
+        worker: Callable,
+        graph,
+        batches: Sequence[np.ndarray],
+        *,
+        payload=None,
+        costs: Optional[Sequence[float]] = None,
+    ) -> list:
+        """Run ``worker(graph, batch, payload)`` per batch, in batch order.
+
+        This is the traversal engine's execution primitive: ``batches``
+        are coarse-grained source batches, and results always come back
+        in submission order so reductions are backend-independent.
+
+        * serial — in-process loop;
+        * thread — the persistent thread pool;
+        * process — the persistent process pool; ``graph`` crosses the
+          boundary **once** as a shared-memory spec (workers attach the
+          CSR arrays zero-copy, see :mod:`repro.parallel.shm`) and
+          ``worker`` must be a module-level function.  ``payload``
+          (e.g. an edge-activity mask) is pickled per task.
+
+        The modeled cost is one region + one phase of ``sum(costs)``
+        work at ``max(costs)`` granularity, mirroring :meth:`map`.
+        """
+        batches = [np.asarray(b, dtype=np.int64) for b in batches]
+        if not batches:
+            return []
+        if costs is None:
+            cost_arr = np.asarray([len(b) for b in batches], dtype=np.float64)
+        else:
+            cost_arr = np.asarray(list(costs), dtype=np.float64)
+            if cost_arr.shape[0] != len(batches):
+                raise ValueError("costs must align with batches")
+        self.cost.region()
+        self.phase(float(cost_arr.sum()), float(cost_arr.max()))
+        if self.backend == "process":
+            from repro.parallel import shm as _shm
+
+            if not _picklable_by_reference(worker):
+                raise ValueError(
+                    "process backend requires a module-level worker function"
+                )
+            pool = self._ensure_process_pool()
+            spec = self._shared_graph(graph).spec
+            futures = [
+                pool.submit(_shm._run_on_shared, spec, worker, b, payload)
+                for b in batches
+            ]
+            return [f.result() for f in futures]
+        if self.backend == "thread" and self.n_workers > 1 and len(batches) > 1:
+            pool_t = self._ensure_thread_pool()
+            return list(pool_t.map(lambda b: worker(graph, b, payload), batches))
+        return [worker(graph, b, payload) for b in batches]
 
     # ------------------------------------------------------------------
     def modeled_time(self, p: Optional[int] = None) -> float:
@@ -173,8 +315,10 @@ class ParallelContext:
         return self.cost.speedup(p if p is not None else self.n_workers)
 
     def reset(self) -> None:
+        """Clear instrumentation and release pools/shared segments."""
         self.cost.reset()
         self.sync = SyncCounters()
+        self.close()
 
 
 def ensure_context(ctx: Optional[ParallelContext]) -> ParallelContext:

@@ -1,0 +1,152 @@
+"""Zero-copy CSR graph handoff between processes.
+
+The process execution backend distributes coarse-grained source batches
+over real worker processes.  Pickling a :class:`~repro.graph.csr.Graph`
+per task would copy the CSR arrays into every worker — exactly the
+overhead the paper's shared-memory design avoids — so instead the
+parent packs the arrays into one ``multiprocessing.shared_memory``
+segment (:func:`share_graph`, one copy total) and ships workers a tiny
+picklable :class:`GraphSpec`.  Workers rebuild the graph as NumPy views
+directly over the mapped segment (:func:`attach_graph`): no per-worker
+copy, and repeated tasks in the same worker reuse a per-process attach
+cache.
+
+Attached graphs alias shared mutable memory; treat them as read-only
+(every kernel does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import Graph
+
+# Field pack order inside the segment (all 8-byte dtypes, so
+# concatenation keeps every array aligned).
+_FIELDS = ("offsets", "targets", "weights", "arc_edge_ids")
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """Picklable recipe for attaching a shared CSR graph.
+
+    ``layout`` rows are ``(field, byte_offset, length, dtype_str)`` for
+    each array present in the segment.
+    """
+
+    shm_name: str
+    directed: bool
+    n_edges: int
+    layout: tuple[tuple[str, int, int, str], ...]
+
+
+class SharedGraph:
+    """Parent-side handle owning a shared graph segment.
+
+    ``spec`` is what crosses the process boundary.  The parent unlinks
+    the segment when done (workers only map it); both operations are
+    idempotent here.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, spec: GraphSpec) -> None:
+        self.shm: Optional[shared_memory.SharedMemory] = shm
+        self.spec = spec
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (parent-side cleanup)."""
+        if self.shm is None:
+            return
+        try:
+            self.shm.close()
+            # Worker attaches may have unbalanced the (set-based) resource
+            # tracker bookkeeping; re-register so unlink's implicit
+            # unregister always finds the name and the tracker stays quiet.
+            resource_tracker.register(self.shm._name, "shared_memory")
+            self.shm.unlink()
+        except (FileNotFoundError, OSError):  # already gone
+            pass
+        self.shm = None
+
+
+def share_graph(graph: Graph) -> SharedGraph:
+    """Copy a graph's CSR arrays into one shared-memory segment.
+
+    This is the *only* copy the process backend ever makes: every
+    worker maps the same segment read-only via :func:`attach_graph`.
+    """
+    arrays = {"offsets": graph.offsets, "targets": graph.targets}
+    if graph.weights is not None:
+        arrays["weights"] = graph.weights
+    arrays["arc_edge_ids"] = graph.arc_edge_ids
+    layout = []
+    nbytes = 0
+    for name in _FIELDS:
+        if name not in arrays:
+            continue
+        a = arrays[name]
+        layout.append((name, nbytes, int(a.shape[0]), a.dtype.str))
+        nbytes += a.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+    for name, off, length, dt in layout:
+        view = np.ndarray((length,), dtype=np.dtype(dt), buffer=shm.buf, offset=off)
+        view[:] = arrays[name]
+    spec = GraphSpec(shm.name, graph.directed, graph.n_edges, tuple(layout))
+    return SharedGraph(shm, spec)
+
+
+# Per-process attach state.  The cache means a pool worker maps each
+# graph segment once no matter how many batches it processes; the
+# keep-alive list pins uncached attachments' segments so their mapped
+# buffers outlive the returned arrays.
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, Graph]] = {}
+_KEEPALIVE: list[shared_memory.SharedMemory] = []
+
+
+def attach_graph(spec: GraphSpec, *, cache: bool = True) -> Graph:
+    """Rebuild a :class:`Graph` as views over the shared segment.
+
+    No CSR data is copied — ``offsets``/``targets``/``weights``/
+    ``arc_edge_ids`` all alias the mapped buffer (their ``OWNDATA``
+    flag is False).  With ``cache=True`` (the worker default) repeated
+    attaches of one segment return the same Graph object.
+    """
+    if cache and spec.shm_name in _ATTACHED:
+        return _ATTACHED[spec.shm_name][1]
+    shm = shared_memory.SharedMemory(name=spec.shm_name, create=False)
+    # Note on cleanup: CPython's resource tracker also registers
+    # *attachments* (bpo-38119), but pool workers are forked children
+    # sharing the parent's tracker process, whose name cache is a set —
+    # so the extra registrations are no-ops and the parent's unlink in
+    # :meth:`SharedGraph.close` settles the bookkeeping.
+    fields = {}
+    for name, off, length, dt in spec.layout:
+        fields[name] = np.ndarray(
+            (length,), dtype=np.dtype(dt), buffer=shm.buf, offset=off
+        )
+    graph = Graph(
+        fields["offsets"],
+        fields["targets"],
+        directed=spec.directed,
+        weights=fields.get("weights"),
+        arc_edge_ids=fields["arc_edge_ids"],
+        n_edges=spec.n_edges,
+        validate=False,
+    )
+    if cache:
+        _ATTACHED[spec.shm_name] = (shm, graph)
+    else:
+        _KEEPALIVE.append(shm)
+    return graph
+
+
+def _run_on_shared(spec: GraphSpec, worker, batch, payload):
+    """Process-pool trampoline: attach the shared graph, run the worker.
+
+    ``worker`` must be a module-level function (it is pickled by
+    reference); its signature is ``worker(graph, batch, payload)``.
+    """
+    return worker(attach_graph(spec), batch, payload)

@@ -33,6 +33,17 @@ Quickstart::
     report = metrics.preprocess(g)
     result = community.pla(g)
     print(result.summary())
+
+Every public algorithm entrypoint follows the canonical surface
+``fn(graph, <operands...>, *, ctx=None, seed=None, trace=None, ...)``
+and is importable from the top level, and :func:`repro.run` executes
+any of them (by registry name or callable) under full observability::
+
+    import repro
+
+    g = repro.generators.rmat(scale=10, edge_factor=8).as_undirected()
+    res = repro.run("betweenness", g, backend="thread", n_workers=4)
+    print(res.flame())
 """
 
 from repro import (
@@ -43,9 +54,20 @@ from repro import (
     graph,
     kernels,
     metrics,
+    obs,
     parallel,
     partitioning,
 )
+from repro.centrality import (
+    approximate_vertex_betweenness,
+    betweenness_centrality,
+    brandes,
+    closeness_centrality,
+    degree_centrality,
+    edge_betweenness_centrality,
+    sampled_betweenness,
+)
+from repro.community import cnm, girvan_newman, pbd, pla, pma, spectral_modularity
 from repro.errors import (
     ClusteringError,
     ConvergenceError,
@@ -55,10 +77,46 @@ from repro.errors import (
     SnapError,
 )
 from repro.graph import Graph, from_edge_list, from_edge_array
+from repro.kernels import (
+    articulation_points,
+    bfs,
+    biconnected_components,
+    boruvka_msf,
+    bridges,
+    connected_components,
+    delta_stepping,
+    dijkstra,
+    kruskal_msf,
+    minimum_spanning_forest,
+    msbfs,
+    prim_mst,
+    st_connectivity,
+)
+from repro.obs import (
+    ALGORITHMS,
+    NULL_TRACER,
+    RunResult,
+    Span,
+    Tracer,
+    algorithm_names,
+    current_tracer,
+    get_algorithm,
+    run,
+    use_tracer,
+)
+from repro.parallel import ParallelContext
+from repro.partitioning import (
+    multilevel_bisection,
+    multilevel_kway,
+    multilevel_recursive_bisection,
+    spectral_bisection,
+    spectral_kway,
+)
 
 __version__ = "0.1.0"
 
 __all__ = [
+    # subpackages
     "graph",
     "parallel",
     "kernels",
@@ -68,9 +126,59 @@ __all__ = [
     "partitioning",
     "generators",
     "datasets",
+    "obs",
+    # graph construction
     "Graph",
     "from_edge_list",
     "from_edge_array",
+    # observability / dispatch
+    "run",
+    "RunResult",
+    "Tracer",
+    "Span",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+    "ALGORITHMS",
+    "algorithm_names",
+    "get_algorithm",
+    "ParallelContext",
+    # kernels
+    "bfs",
+    "msbfs",
+    "st_connectivity",
+    "connected_components",
+    "biconnected_components",
+    "articulation_points",
+    "bridges",
+    "dijkstra",
+    "delta_stepping",
+    "boruvka_msf",
+    "kruskal_msf",
+    "prim_mst",
+    "minimum_spanning_forest",
+    # centrality
+    "degree_centrality",
+    "closeness_centrality",
+    "betweenness_centrality",
+    "edge_betweenness_centrality",
+    "brandes",
+    "sampled_betweenness",
+    "approximate_vertex_betweenness",
+    # community
+    "pbd",
+    "girvan_newman",
+    "pma",
+    "pla",
+    "cnm",
+    "spectral_modularity",
+    # partitioning
+    "multilevel_bisection",
+    "multilevel_recursive_bisection",
+    "multilevel_kway",
+    "spectral_bisection",
+    "spectral_kway",
+    # errors
     "SnapError",
     "GraphFormatError",
     "GraphStructureError",

@@ -28,6 +28,7 @@ from repro.errors import GraphStructureError
 from repro.centrality.betweenness import _brandes_batch, brandes
 from repro.kernels._frontier import GraphLike, unwrap
 from repro.kernels.bfs import default_batch_size
+from repro.obs.api import algorithm
 from repro.parallel.runtime import ParallelContext, ensure_context
 
 #: Lane cap for *adaptive* sampling batches: the stopping rule is
@@ -45,6 +46,7 @@ class AdaptiveSampleResult:
     stopped_early: bool
 
 
+@algorithm("approximate_vertex_betweenness", operands=1, legacy=("c",))
 def approximate_vertex_betweenness(
     g: GraphLike,
     v: int,
@@ -103,6 +105,7 @@ def approximate_vertex_betweenness(
     return AdaptiveSampleResult(estimate, k, stopped)
 
 
+@algorithm("sampled_betweenness", legacy=("sample_fraction", "min_samples"))
 def sampled_betweenness(
     g: GraphLike,
     *,

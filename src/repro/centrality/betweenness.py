@@ -31,6 +31,7 @@ no shortest paths — this is what Girvan–Newman iterates on.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -39,6 +40,8 @@ import numpy as np
 from repro.errors import GraphStructureError
 from repro.kernels._frontier import GraphLike, expand, expand_batch, unwrap
 from repro.kernels.bfs import _claimed_frontier, default_batch_size, source_batches
+from repro.obs.api import algorithm
+from repro.obs.tracer import current_tracer
 from repro.parallel.runtime import ParallelContext, ensure_context
 
 #: Soft cap on cached arc entries per batch (the forward sweep caches
@@ -262,13 +265,25 @@ def _brandes_batch(
     # out-arcs are not its in-arcs).
     bottom_up_ok = not graph.directed
     todo_arcs = int(k * graph.n_arcs - degs[batch].sum())
+    tr = ctx.tracer if ctx is not None else current_tracer()
 
     # Forward sweep: batched level-synchronous σ accumulation.
     while verts.shape[0]:
         if record_phases and ctx is not None:
             ctx.record_phase_from_work(degs[verts])
         front_arcs = int(degs.take(verts).sum())
-        if bottom_up_ok and todo_arcs < front_arcs:
+        bottom_up = bottom_up_ok and todo_arcs < front_arcs
+        sp = (
+            tr.begin(
+                "forward_level",
+                depth=level,
+                frontier=int(verts.shape[0]),
+                direction="bottom_up" if bottom_up else "top_down",
+            )
+            if tr
+            else None
+        )
+        if bottom_up:
             # Bottom-up level: expand every unvisited (lane, vertex) and
             # keep the arcs whose far endpoint sits on the frontier —
             # exactly the mirrors of this level's σ-arcs.
@@ -278,33 +293,29 @@ def _brandes_batch(
             src_pos, nbr_flat, arc_idx = expand_batch(
                 graph, ulanes, uverts, edge_active
             )
-            if nbr_flat.shape[0] == 0:
-                break
             hit = np.flatnonzero(dist_flat.take(nbr_flat) == level)
-            if hit.shape[0] == 0:
-                break
             u_flat = nbr_flat.take(hit)
             cand = un_flat.take(src_pos.take(hit))
             w = sigma_flat.take(u_flat)
             eids_c = eids_all.take(arc_idx.take(hit))
         else:
             src_pos, tgt_flat, arc_idx = expand_batch(graph, lanes, verts, edge_active)
-            if tgt_flat.shape[0] == 0:
-                break
             # Frontier entries sit at distance `level`, so the arcs that
             # σ flows along (dist[tgt] == dist[src] + 1) are exactly the
             # arcs whose target is still unreached here: those targets —
             # and no others — are assigned level + 1 below.  (flatnonzero
             # + take is several times faster than boolean fancy indexing.)
             unseen = np.flatnonzero(dist_flat.take(tgt_flat) == -1)
-            if unseen.shape[0] == 0:
-                break
             cand = tgt_flat.take(unseen)
             front_flat = lanes * n + verts
             spc = src_pos.take(unseen)
             u_flat = front_flat.take(spc)
             w = sigma_flat.take(front_flat).take(spc)
             eids_c = eids_all.take(arc_idx.take(unseen))
+        if cand.shape[0] == 0:
+            if sp is not None:
+                tr.end(sp, sigma_arcs=0, discovered=0)
+            break
         _scatter_add(sigma_flat, cand, w)
         sigma_arcs.append((u_flat, cand, eids_c, w))
         dist_flat[cand] = level + 1
@@ -314,6 +325,10 @@ def _brandes_batch(
         todo_arcs -= int(degs.take(verts).sum())
         levels.append((lanes, verts))
         level += 1
+        if sp is not None:
+            tr.end(
+                sp, sigma_arcs=int(cand.shape[0]), discovered=int(nxt.shape[0])
+            )
 
     # Backward sweep: δ flows level-by-level toward every lane's source.
     # ``sigma_arcs[i]`` holds the (u @ i) → (v @ i+1) shortest-path arcs
@@ -332,9 +347,16 @@ def _brandes_batch(
         if record_phases and ctx is not None:
             ctx.record_phase_from_work(degs[levels[i + 1][1]])
         u_flat, v_flat, eids_c, w = sigma_arcs[i]
+        sp = (
+            tr.begin("backward_level", depth=i, sigma_arcs=int(v_flat.shape[0]))
+            if tr
+            else None
+        )
         contrib = w * inv_sigma.take(v_flat) * (1.0 + delta_flat.take(v_flat))
         _scatter_add(delta_flat, u_flat, contrib)
         _scatter_add(edge_partial, eids_c, contrib)
+        if sp is not None:
+            tr.end(sp)
     delta[lanes0, batch] = 0.0
     return delta, edge_partial
 
@@ -353,6 +375,7 @@ def _brandes_batch_worker(
     return delta.sum(axis=0), edge_partial
 
 
+@algorithm("brandes", legacy=("sources", "granularity"))
 def brandes(
     g: GraphLike,
     *,
@@ -434,16 +457,43 @@ def brandes(
         per_traversal = float(max(1, graph.n_arcs))
         if ctx.backend == "serial":
             # In-process batched sweeps; fine granularity still records
-            # per-level phases (now shared by the whole batch).
+            # per-level phases (now shared by the whole batch).  When
+            # traced, the dispatch emits the same map_batches/batch span
+            # shape as the pooled path so trace structure is
+            # backend-independent.
+            tr = ctx.tracer
+            ctx.pool.batch_calls += 1
+            ctx.pool.batches_dispatched += len(batches)
+            ctx.pool.lanes_dispatched += int(sum(len(b) for b in batches))
             with ctx.region():
                 if granularity == "coarse":
                     ctx.phase(per_traversal * len(src_list), per_traversal)
-                for b in batches:
-                    delta, edge_partial = _brandes_batch(
-                        graph, edge_active, b, ctx, granularity == "fine"
-                    )
-                    vertex_acc += delta.sum(axis=0)
-                    edge_acc += edge_partial
+                if tr:
+                    t0 = _time.perf_counter()
+                    with tr.span(
+                        "map_batches",
+                        backend="serial",
+                        n_batches=len(batches),
+                        n_workers=ctx.n_workers,
+                    ):
+                        for b in batches:
+                            with tr.span("batch", lanes=int(len(b))):
+                                delta, edge_partial = _brandes_batch(
+                                    graph, edge_active, b, ctx,
+                                    granularity == "fine",
+                                )
+                            vertex_acc += delta.sum(axis=0)
+                            edge_acc += edge_partial
+                    elapsed = _time.perf_counter() - t0
+                    ctx.pool.busy_seconds += elapsed
+                    ctx.pool.elapsed_seconds += elapsed
+                else:
+                    for b in batches:
+                        delta, edge_partial = _brandes_batch(
+                            graph, edge_active, b, ctx, granularity == "fine"
+                        )
+                        vertex_acc += delta.sum(axis=0)
+                        edge_acc += edge_partial
         else:
             # Real workers: one task per source batch, reduced in batch
             # order so results are independent of the backend.
@@ -472,6 +522,7 @@ def brandes(
     return BrandesResult(vertex_acc, edge_acc, len(src_list))
 
 
+@algorithm("betweenness", legacy=("normalized", "granularity"))
 def betweenness_centrality(
     g: GraphLike,
     *,
@@ -485,6 +536,7 @@ def betweenness_centrality(
     ).vertex
 
 
+@algorithm("edge_betweenness", legacy=("normalized", "granularity"))
 def edge_betweenness_centrality(
     g: GraphLike,
     *,

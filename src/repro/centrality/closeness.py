@@ -22,6 +22,7 @@ from repro.graph.csr import EdgeSubsetView
 from repro.kernels._frontier import GraphLike, unwrap
 from repro.kernels.bfs import msbfs, source_batches
 from repro.kernels.sssp import dijkstra
+from repro.obs.api import algorithm
 from repro.parallel.runtime import ParallelContext, ensure_context
 
 
@@ -39,6 +40,7 @@ def _closeness_batch_worker(graph, batch, payload):
     return r.astype(np.int64), total
 
 
+@algorithm("closeness", legacy=("sources", "wf_improved"))
 def closeness_centrality(
     g: GraphLike,
     *,

@@ -9,9 +9,11 @@ from typing import Optional
 import numpy as np
 
 from repro.kernels._frontier import GraphLike, unwrap
+from repro.obs.api import algorithm
 from repro.parallel.runtime import ParallelContext, ensure_context
 
 
+@algorithm("degree", legacy=("normalized",))
 def degree_centrality(
     g: GraphLike,
     *,

@@ -7,6 +7,14 @@ Mirrors the utility programs the original SNAP distribution shipped::
     python -m repro partition graph.txt -k 8 --method kmetis
     python -m repro generate rmat --scale 12 --edge-factor 8 -o out.txt
     python -m repro convert  graph.txt out.graph --to metis
+    python -m repro profile  --rmat-scale 10 -o profile.json
+
+``analyze``, ``cluster`` and ``partition`` accept ``--backend
+{serial,thread,process}`` / ``--workers P`` to pick the execution
+backend and ``--profile out.json`` to record the run's span tree, cost
+model and pool gauges.  ``profile`` is the dedicated measurement
+front-end: it runs a set of registered algorithms under full tracing
+and writes one JSON document per run.
 
 Graphs are read from whitespace edge lists (``u v [w]``), METIS
 (``.graph``), DIMACS (``.gr``/``.dimacs``) or NumPy (``.npz``) files,
@@ -16,8 +24,10 @@ chosen by extension.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from contextlib import nullcontext as _nullcm
 from pathlib import Path
 from typing import Optional
 
@@ -27,6 +37,8 @@ from repro import community, generators, metrics
 from repro.errors import ConvergenceError, PartitioningError, SnapError
 from repro.graph import io as graph_io
 from repro.graph.csr import Graph
+from repro.obs import Tracer, flame_summary, run as obs_run, use_tracer, write_json
+from repro.parallel.runtime import ParallelContext
 from repro.partitioning import (
     edge_cut,
     multilevel_kway,
@@ -60,11 +72,46 @@ def _load(path: str, directed: bool = False) -> Graph:
     return graph_io.read_edge_list(path, directed=directed)
 
 
+def _make_ctx(args: argparse.Namespace, tracer=None) -> ParallelContext:
+    """Execution context from the shared --backend/--workers flags."""
+    return ParallelContext(
+        getattr(args, "workers", 1),
+        backend=getattr(args, "backend", None) or "serial",
+        trace=tracer,
+    )
+
+
+def _finish_profile(args, tracer: Optional[Tracer], ctx: ParallelContext,
+                    elapsed: float) -> None:
+    """Write the recorded trace document for --profile runs."""
+    if tracer is None:
+        return
+    root = tracer.finish()
+    write_json(
+        root,
+        args.profile,
+        extra={
+            "command": args.command,
+            "backend": ctx.backend,
+            "n_workers": ctx.n_workers,
+            "elapsed_seconds": round(elapsed, 6),
+            "cost_model": ctx.cost.summary(),
+            "sync": ctx.sync.as_dict(),
+            "pool": ctx.pool.as_dict(),
+        },
+    )
+    print(f"profile written to {args.profile}")
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     g = _load(args.graph, args.directed)
     print(f"graph: {g}")
     gg = g.as_undirected() if g.directed else g
-    report = metrics.preprocess(gg)
+    tracer = Tracer() if args.profile else None
+    t0 = time.perf_counter()
+    with _make_ctx(args, tracer) as ctx, use_tracer(tracer) if tracer else _nullcm():
+        report = metrics.preprocess(gg, ctx=ctx)
+    _finish_profile(args, tracer, ctx, time.perf_counter() - t0)
     print(f"components          : {report.n_components} "
           f"(largest {report.largest_component_fraction:.1%})")
     print(f"average degree      : {report.average_degree:.2f}")
@@ -90,13 +137,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 _CLUSTERERS = {
-    "pla": lambda g, a: community.pla(g, rng=np.random.default_rng(a.seed)),
-    "pma": lambda g, a: community.pma(g),
-    "pbd": lambda g, a: community.pbd(
-        g, patience=a.patience, rng=np.random.default_rng(a.seed)
+    "pla": lambda g, a, ctx: community.pla(g, seed=a.seed, ctx=ctx),
+    "pma": lambda g, a, ctx: community.pma(g, ctx=ctx),
+    "pbd": lambda g, a, ctx: community.pbd(
+        g, patience=a.patience, seed=a.seed, ctx=ctx
     ),
-    "gn": lambda g, a: community.girvan_newman(g, patience=a.patience),
-    "cnm": lambda g, a: community.cnm(g),
+    "gn": lambda g, a, ctx: community.girvan_newman(
+        g, patience=a.patience, ctx=ctx
+    ),
+    "cnm": lambda g, a, ctx: community.cnm(g, ctx=ctx),
 }
 
 
@@ -104,10 +153,15 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     g = _load(args.graph, args.directed)
     if g.directed:
         g = g.as_undirected()
+    tracer = Tracer() if args.profile else None
     t0 = time.perf_counter()
-    result = _CLUSTERERS[args.algorithm](g, args)
+    with _make_ctx(args, tracer) as ctx, (
+        use_tracer(tracer) if tracer else _nullcm()
+    ):
+        result = _CLUSTERERS[args.algorithm](g, args, ctx)
     dt = time.perf_counter() - t0
     print(f"{result.summary()}  [{dt:.2f}s]")
+    _finish_profile(args, tracer, ctx, dt)
     if args.output:
         with open(args.output, "w") as f:
             for v, lab in enumerate(result.labels):
@@ -120,22 +174,97 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     g = _load(args.graph, args.directed)
     if g.directed:
         g = g.as_undirected()
-    methods = {
-        "kmetis": lambda: multilevel_kway(g, args.k),
-        "pmetis": lambda: multilevel_recursive_bisection(g, args.k),
-        "spectral-rqi": lambda: spectral_kway(g, args.k, method="rqi"),
-        "spectral-lan": lambda: spectral_kway(g, args.k, method="lanczos"),
-    }
-    try:
-        parts = methods[args.method]()
-    except (ConvergenceError, PartitioningError) as exc:
-        print(f"partitioning failed: {exc}", file=sys.stderr)
-        return 1
+    tracer = Tracer() if args.profile else None
+    t0 = time.perf_counter()
+    with _make_ctx(args, tracer) as ctx, (
+        use_tracer(tracer) if tracer else _nullcm()
+    ):
+        methods = {
+            "kmetis": lambda: multilevel_kway(g, args.k, ctx=ctx),
+            "pmetis": lambda: multilevel_recursive_bisection(
+                g, args.k, ctx=ctx
+            ),
+            "spectral-rqi": lambda: spectral_kway(
+                g, args.k, method="rqi", ctx=ctx
+            ),
+            "spectral-lan": lambda: spectral_kway(
+                g, args.k, method="lanczos", ctx=ctx
+            ),
+        }
+        try:
+            parts = methods[args.method]()
+        except (ConvergenceError, PartitioningError) as exc:
+            print(f"partitioning failed: {exc}", file=sys.stderr)
+            return 1
     print(f"edge cut: {edge_cut(g, parts):,.0f}")
     print(f"balance : {partition_balance(g, parts, args.k):.3f}")
+    _finish_profile(args, tracer, ctx, time.perf_counter() - t0)
     if args.output:
         np.savetxt(args.output, parts, fmt="%d")
         print(f"partition written to {args.output}")
+    return 0
+
+
+#: ``repro profile`` runnable set: registry name -> extra kwargs.  pbd
+#: gets bounded patience so divisive runs terminate quickly on R-MAT
+#: inputs; every entry must accept the canonical keyword surface.
+_PROFILE_ALGORITHMS = {
+    "betweenness": {},
+    "closeness": {},
+    "pbd": {"patience": 5, "max_iterations": 300, "seed": 0},
+    "connected_components": {},
+    "multilevel_kway": {},
+    "pla": {"seed": 0},
+}
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.graph is None and args.rmat_scale is None:
+        print("profile: provide a graph file or --rmat-scale", file=sys.stderr)
+        return 2
+    if args.graph is not None:
+        g = _load(args.graph, False)
+        source = args.graph
+    else:
+        g = generators.rmat(
+            args.rmat_scale, args.edge_factor,
+            rng=np.random.default_rng(args.seed),
+        )
+        source = f"rmat(scale={args.rmat_scale}, ef={args.edge_factor})"
+    if g.directed:
+        g = g.as_undirected()
+    names = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    unknown = [a for a in names if a not in _PROFILE_ALGORITHMS]
+    if unknown:
+        print(
+            f"profile: unknown algorithm(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(_PROFILE_ALGORITHMS))}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"graph: {g}  ({source})")
+    doc: dict = {
+        "graph": {"source": source, "n_vertices": g.n_vertices,
+                  "n_edges": g.n_edges},
+        "backend": args.backend or "serial",
+        "n_workers": args.workers,
+        "runs": {},
+    }
+    for name in names:
+        kwargs = dict(_PROFILE_ALGORITHMS[name])
+        operands = (args.k,) if name == "multilevel_kway" else ()
+        res = obs_run(
+            name, g, *operands,
+            backend=args.backend, n_workers=args.workers, **kwargs,
+        )
+        doc["runs"][name] = res.to_dict()
+        util = res.pool.utilization(res.n_workers)
+        print(f"\n== {name}: {res.elapsed_seconds:.3f}s "
+              f"(pool utilization {util:.0%}) ==")
+        print(res.flame(max_depth=args.max_depth))
+    out = Path(args.output)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"\nprofile written to {out}")
     return 0
 
 
@@ -177,11 +306,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--backend", choices=["serial", "thread", "process"],
+                       default=None,
+                       help="execution backend (default: serial)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker count for thread/process backends")
+        p.add_argument("--profile", metavar="OUT.json", default=None,
+                       help="record a span-tree profile of the run")
+
     p = sub.add_parser("analyze", help="exploratory network analysis")
     p.add_argument("graph")
     p.add_argument("--directed", action="store_true")
     p.add_argument("--paths", action="store_true",
                    help="also estimate path statistics (slower)")
+    add_backend_flags(p)
     p.set_defaults(fn=_cmd_analyze)
 
     p = sub.add_parser("cluster", help="community detection")
@@ -192,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--patience", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("-o", "--output", help="write vertex labels here")
+    add_backend_flags(p)
     p.set_defaults(fn=_cmd_cluster)
 
     p = sub.add_parser("partition", help="balanced k-way partitioning")
@@ -202,7 +342,31 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["kmetis", "pmetis", "spectral-rqi",
                             "spectral-lan"])
     p.add_argument("-o", "--output")
+    add_backend_flags(p)
     p.set_defaults(fn=_cmd_partition)
+
+    p = sub.add_parser(
+        "profile",
+        help="run algorithms under full tracing, write a JSON profile",
+    )
+    p.add_argument("graph", nargs="?", default=None,
+                   help="input graph file (or use --rmat-scale)")
+    p.add_argument("--rmat-scale", type=int, default=None,
+                   help="generate an R-MAT graph of 2^scale vertices")
+    p.add_argument("--edge-factor", type=float, default=8.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--algorithms", default="betweenness,closeness,pbd",
+                   help="comma-separated registry names "
+                        f"(known: {', '.join(sorted(_PROFILE_ALGORITHMS))})")
+    p.add_argument("-k", type=int, default=8,
+                   help="part count for multilevel_kway")
+    p.add_argument("--backend", choices=["serial", "thread", "process"],
+                   default=None)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--max-depth", type=int, default=6,
+                   help="flame summary depth")
+    p.add_argument("-o", "--output", default="profile.json")
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("generate", help="synthetic graph generators")
     p.add_argument("family", choices=["rmat", "smallworld", "random",

@@ -24,9 +24,11 @@ from repro.community.modularity import modularity
 from repro.community.result import ClusteringResult
 from repro.errors import ClusteringError, GraphStructureError
 from repro.graph.csr import Graph
+from repro.obs.api import algorithm
 from repro.parallel.runtime import ParallelContext, ensure_context
 
 
+@algorithm("cnm")
 def cnm(
     graph: Graph,
     *,

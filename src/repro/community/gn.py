@@ -19,9 +19,11 @@ from repro.community._divisive import divisive_clustering
 from repro.community.modularity import modularity
 from repro.community.result import ClusteringResult
 from repro.graph.csr import EdgeSubsetView, Graph
+from repro.obs.api import algorithm
 from repro.parallel.runtime import ParallelContext
 
 
+@algorithm("girvan_newman", legacy=("max_iterations",))
 def girvan_newman(
     graph: Graph,
     *,

@@ -31,9 +31,11 @@ from repro.community._divisive import divisive_clustering
 from repro.community.modularity import modularity
 from repro.community.result import ClusteringResult
 from repro.graph.csr import EdgeSubsetView, Graph
+from repro.obs.api import algorithm
 from repro.parallel.runtime import ParallelContext
 
 
+@algorithm("pbd", legacy=("sample_fraction", "min_samples", "exact_threshold"))
 def pbd(
     graph: Graph,
     *,

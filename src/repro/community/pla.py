@@ -38,11 +38,13 @@ from repro.graph.csr import Graph
 from repro.kernels.biconnected import biconnected_components
 from repro.kernels.connected import connected_components
 from repro.metrics.clustering import local_clustering_coefficients
+from repro.obs.api import algorithm
 from repro.parallel.runtime import ParallelContext, ensure_context
 
 LOCAL_METRICS = ("weight", "degree", "clustering")
 
 
+@algorithm("pla", legacy=("local_metric", "max_passes"))
 def pla(
     graph: Graph,
     *,

@@ -34,6 +34,7 @@ from repro.community.modularity import modularity
 from repro.community.result import ClusteringResult
 from repro.errors import ClusteringError, GraphStructureError
 from repro.graph.csr import Graph
+from repro.obs.api import algorithm
 from repro.parallel.runtime import ParallelContext, ensure_context
 
 
@@ -88,6 +89,7 @@ class _Row:
         return _Row(keys[first], sums)
 
 
+@algorithm("pma")
 def pma(
     graph: Graph,
     *,

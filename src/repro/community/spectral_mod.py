@@ -29,6 +29,7 @@ from repro.community.modularity import modularity
 from repro.community.result import ClusteringResult
 from repro.errors import ClusteringError, GraphStructureError
 from repro.graph.csr import Graph
+from repro.obs.api import algorithm
 from repro.parallel.runtime import ParallelContext, ensure_context
 
 
@@ -155,6 +156,7 @@ def _fine_tune(
     return s
 
 
+@algorithm("spectral_modularity", legacy=("fine_tune",))
 def spectral_modularity(
     graph: Graph,
     *,

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.errors import GraphStructureError
 from repro.kernels._frontier import GraphLike, expand, expand_batch, unwrap
+from repro.obs.api import algorithm
 from repro.parallel.runtime import ParallelContext, ensure_context
 
 UNREACHED = -1
@@ -97,6 +98,7 @@ class BFSResult:
         return int(np.count_nonzero(self.reached))
 
 
+@algorithm("bfs", operands=1, legacy=("max_depth",))
 def bfs(
     g: GraphLike,
     source: int,
@@ -123,29 +125,39 @@ def bfs(
     frontier = np.asarray([source], dtype=np.int64)
     level = 0
     degs_all = graph.degrees()
+    tr = ctx.tracer
     with ctx.region():
         while frontier.shape[0]:
             if max_depth is not None and level >= max_depth:
                 break
+            sp = (
+                tr.begin("level", depth=level, frontier=int(frontier.shape[0]))
+                if tr
+                else None
+            )
             srcs, tgts, _ = expand(graph, frontier, edge_active)
             # Record this level as one barrier-separated phase.
             ctx.record_phase_from_work(degs_all[frontier])
-            if tgts.shape[0] == 0:
-                break
+            arcs = int(tgts.shape[0])
             fresh = dist[tgts] == UNREACHED
             tgts, srcs = tgts[fresh], srcs[fresh]
-            if tgts.shape[0] == 0:
+            if tgts.shape[0]:
+                # Deterministic benign-race resolution: the smallest parent
+                # claims each duplicate target (first occurrence after sort).
+                order = np.lexsort((srcs, tgts))
+                tgts, srcs = tgts[order], srcs[order]
+                first = np.empty(tgts.shape[0], dtype=bool)
+                first[0] = True
+                np.not_equal(tgts[1:], tgts[:-1], out=first[1:])
+                nxt = tgts[first]
+                dist[nxt] = level + 1
+                parent[nxt] = srcs[first]
+            else:
+                nxt = tgts
+            if sp is not None:
+                tr.end(sp, arcs=arcs, discovered=int(nxt.shape[0]))
+            if nxt.shape[0] == 0:
                 break
-            # Deterministic benign-race resolution: the smallest parent
-            # claims each duplicate target (first occurrence after sort).
-            order = np.lexsort((srcs, tgts))
-            tgts, srcs = tgts[order], srcs[order]
-            first = np.empty(tgts.shape[0], dtype=bool)
-            first[0] = True
-            np.not_equal(tgts[1:], tgts[:-1], out=first[1:])
-            nxt = tgts[first]
-            dist[nxt] = level + 1
-            parent[nxt] = srcs[first]
             frontier = nxt
             level += 1
     return BFSResult(dist, parent, level)
@@ -172,6 +184,7 @@ class MSBFSResult:
         return self.distances >= 0
 
 
+@algorithm("msbfs", operands=1, legacy=("max_depth",))
 def msbfs(
     g: GraphLike,
     sources,
@@ -213,42 +226,55 @@ def msbfs(
     # level + 1 exactly when one of its own arcs reaches the frontier.
     bottom_up_ok = not graph.directed
     todo_arcs = int(k * graph.n_arcs - degs_all[srcs].sum())
+    tr = ctx.tracer
     with ctx.region():
         while verts.shape[0]:
             if max_depth is not None and level >= max_depth:
                 break
             # One barrier-separated phase covers the whole batch level.
             ctx.record_phase_from_work(degs_all[verts])
-            if bottom_up_ok and todo_arcs < int(degs_all.take(verts).sum()):
+            bottom_up = bottom_up_ok and todo_arcs < int(
+                degs_all.take(verts).sum()
+            )
+            sp = (
+                tr.begin(
+                    "level",
+                    depth=level,
+                    frontier=int(verts.shape[0]),
+                    direction="bottom_up" if bottom_up else "top_down",
+                )
+                if tr
+                else None
+            )
+            if bottom_up:
                 un_flat = np.flatnonzero(dist_flat == UNREACHED)
                 ulanes = un_flat // n
                 uverts = un_flat - ulanes * n
                 src_pos, nbr_flat, _ = expand_batch(
                     graph, ulanes, uverts, edge_active
                 )
-                if nbr_flat.shape[0] == 0:
-                    break
                 hit = np.flatnonzero(dist_flat.take(nbr_flat) == level)
-                if hit.shape[0] == 0:
-                    break
                 cand = un_flat.take(src_pos.take(hit))
             else:
                 _, tgt_flat, _ = expand_batch(graph, lanes, verts, edge_active)
-                if tgt_flat.shape[0] == 0:
-                    break
                 unseen = np.flatnonzero(dist_flat.take(tgt_flat) == UNREACHED)
-                if unseen.shape[0] == 0:
-                    break
                 cand = tgt_flat.take(unseen)
+            if cand.shape[0] == 0:
+                if sp is not None:
+                    tr.end(sp, discovered=0)
+                break
             dist_flat[cand] = level + 1
             nxt = _claimed_frontier(dist_flat, cand, level + 1, kn)
             lanes = nxt // n
             verts = nxt - lanes * n
             todo_arcs -= int(degs_all.take(verts).sum())
             level += 1
+            if sp is not None:
+                tr.end(sp, discovered=int(nxt.shape[0]))
     return MSBFSResult(srcs, dist, level)
 
 
+@algorithm("st_connectivity", operands=2)
 def st_connectivity(
     g: GraphLike,
     s: int,

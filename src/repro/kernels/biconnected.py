@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.kernels._frontier import GraphLike, unwrap
 from repro.errors import GraphStructureError
+from repro.obs.api import algorithm
 from repro.parallel.runtime import ParallelContext, ensure_context
 
 
@@ -54,6 +55,7 @@ class BiconnectedResult:
         return np.nonzero(self.bridge_mask)[0]
 
 
+@algorithm("biconnected_components")
 def biconnected_components(
     g: GraphLike, *, ctx: Optional[ParallelContext] = None
 ) -> BiconnectedResult:
@@ -161,6 +163,7 @@ def biconnected_components(
     return BiconnectedResult(edge_comp, is_art, is_bridge, n_comp)
 
 
+@algorithm("articulation_points")
 def articulation_points(
     g: GraphLike, *, ctx: Optional[ParallelContext] = None
 ) -> np.ndarray:
@@ -168,6 +171,7 @@ def articulation_points(
     return biconnected_components(g, ctx=ctx).articulation_points
 
 
+@algorithm("bridges")
 def bridges(g: GraphLike, *, ctx: Optional[ParallelContext] = None) -> np.ndarray:
     """Edge ids whose removal disconnects their component."""
     return biconnected_components(g, ctx=ctx).bridges

@@ -25,9 +25,11 @@ import numpy as np
 from repro.errors import GraphStructureError
 from repro.kernels._frontier import GraphLike, unwrap
 from repro.kernels.bfs import default_batch_size, msbfs
+from repro.obs.api import algorithm
 from repro.parallel.runtime import ParallelContext, ensure_context
 
 
+@algorithm("connected_components", legacy=("method",))
 def connected_components(
     g: GraphLike,
     *,

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import GraphStructureError
 from repro.kernels._frontier import GraphLike, unwrap
+from repro.obs.api import algorithm
 from repro.parallel.runtime import ParallelContext, ensure_context
 from repro.parallel.scheduler import simulate_work_stealing
 
@@ -34,6 +35,7 @@ def _edge_arrays(graph, edge_active):
     return u, v, w, ids
 
 
+@algorithm("boruvka_msf")
 def boruvka_msf(
     g: GraphLike, *, ctx: Optional[ParallelContext] = None
 ) -> np.ndarray:
@@ -98,6 +100,7 @@ def boruvka_msf(
     return np.asarray(sorted(set(chosen)), dtype=np.int64)
 
 
+@algorithm("kruskal_msf")
 def kruskal_msf(g: GraphLike, *, ctx: Optional[ParallelContext] = None) -> np.ndarray:
     """Sequential Kruskal baseline (sort + union–find)."""
     graph, edge_active = unwrap(g)
@@ -126,6 +129,7 @@ def kruskal_msf(g: GraphLike, *, ctx: Optional[ParallelContext] = None) -> np.nd
     return np.asarray(sorted(out), dtype=np.int64)
 
 
+@algorithm("prim_mst", operands=1)
 def prim_mst(
     g: GraphLike, source: int = 0, *, ctx: Optional[ParallelContext] = None
 ) -> np.ndarray:
@@ -166,6 +170,7 @@ def prim_mst(
     return np.asarray(sorted(out), dtype=np.int64)
 
 
+@algorithm("minimum_spanning_forest", legacy=("method",))
 def minimum_spanning_forest(
     g: GraphLike,
     *,

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import GraphStructureError
 from repro.kernels._frontier import GraphLike, expand, unwrap
+from repro.obs.api import algorithm
 from repro.parallel.runtime import ParallelContext, ensure_context
 
 INF = np.inf
@@ -47,6 +48,7 @@ def _check(graph, source: int) -> None:
         raise GraphStructureError("shortest paths require non-negative weights")
 
 
+@algorithm("delta_stepping", operands=1, legacy=("delta",))
 def delta_stepping(
     g: GraphLike,
     source: int,
@@ -149,6 +151,7 @@ def delta_stepping(
     return SSSPResult(dist, parent)
 
 
+@algorithm("dijkstra", operands=1)
 def dijkstra(
     g: GraphLike, source: int, *, ctx: Optional[ParallelContext] = None
 ) -> SSSPResult:

@@ -1,0 +1,149 @@
+"""The canonical algorithm entrypoint surface.
+
+Every public algorithm in this package is normalized to
+
+    fn(graph, <operands...>, *, ctx=None, seed=None, trace=None, ...)
+
+where *operands* are positional data arguments (a source vertex, a part
+count ``k``) and everything else is keyword-only.  The
+:func:`algorithm` decorator supplies the uniform part:
+
+* ``trace=`` — a :class:`~repro.obs.tracer.Tracer` to record into.
+  When omitted, the *ambient* tracer is used (installed by
+  :func:`repro.obs.runner.run` or an enclosing algorithm), so nested
+  calls — pBD's inner Brandes rescorings, recursive bisections — nest
+  as child spans with zero explicit plumbing.  With tracing disabled
+  the wrapper is a two-branch fast path that adds no measurable cost.
+* ``seed=`` — an integer convenience for algorithms that take an
+  ``rng=`` generator; ``seed=7`` is exactly ``rng=default_rng(7)``.
+  Passing both is an error.
+* **Legacy positional shims** — options that were once accepted
+  positionally keep working but emit :class:`DeprecationWarning`; the
+  decorator maps them onto their keyword names (the ``legacy`` tuple).
+* **Registry** — each entrypoint self-registers under a stable name so
+  :func:`repro.run` can dispatch by string (``repro.run("pbd", g)``)
+  and the CLI's ``profile`` subcommand can enumerate what's runnable.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.obs.tracer import current_tracer, use_tracer
+
+__all__ = ["algorithm", "get_algorithm", "algorithm_names", "ALGORITHMS"]
+
+ALGORITHMS: dict[str, Callable] = {}
+"""Registry: canonical name -> decorated entrypoint."""
+
+
+def _graph_attrs(graph) -> dict:
+    """Best-effort size attributes for the root span."""
+    attrs = {}
+    for key in ("n_vertices", "n_edges"):
+        val = getattr(graph, key, None)
+        if isinstance(val, (int, np.integer)):
+            attrs[key] = int(val)
+    return attrs
+
+
+def algorithm(
+    name: str,
+    *,
+    operands: int = 0,
+    legacy: tuple = (),
+    register: bool = True,
+):
+    """Wrap an entrypoint with the canonical observability surface.
+
+    ``operands`` is how many positional arguments after ``graph`` are
+    legitimate data operands (e.g. 1 for ``bfs(g, source)``); positional
+    arguments beyond that are mapped onto the ``legacy`` keyword names
+    with a :class:`DeprecationWarning`.
+    """
+
+    def deco(fn: Callable) -> Callable:
+        code_vars = fn.__code__.co_varnames[: fn.__code__.co_argcount + fn.__code__.co_kwonlyargcount]
+        accepts_rng = "rng" in code_vars
+
+        @functools.wraps(fn)
+        def wrapper(graph, *args, **kwargs):
+            trace = kwargs.pop("trace", None)
+            seed = kwargs.pop("seed", None)
+            if len(args) > operands:
+                extras, args = args[operands:], args[:operands]
+                if len(extras) > len(legacy):
+                    raise TypeError(
+                        f"{name}() takes {operands} positional operand(s) "
+                        f"after the graph; pass options as keywords"
+                    )
+                mapped = legacy[: len(extras)]
+                warnings.warn(
+                    f"{name}(): passing {', '.join(mapped)} positionally is "
+                    f"deprecated; use keyword arguments",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                for pname, val in zip(mapped, extras):
+                    if pname in kwargs:
+                        raise TypeError(
+                            f"{name}() got multiple values for {pname!r}"
+                        )
+                    kwargs[pname] = val
+            if seed is not None:
+                if not accepts_rng:
+                    raise TypeError(f"{name}() does not accept seed=")
+                if kwargs.get("rng") is not None:
+                    raise TypeError(f"{name}(): pass seed= or rng=, not both")
+                kwargs["rng"] = np.random.default_rng(seed)
+            tracer = trace if trace is not None else current_tracer()
+            if not tracer:
+                return fn(graph, *args, **kwargs)
+            with use_tracer(tracer):
+                sp = tracer.begin(name, **_graph_attrs(graph))
+                try:
+                    return fn(graph, *args, **kwargs)
+                finally:
+                    tracer.end(sp)
+
+        wrapper.__algorithm__ = name
+        wrapper.__wrapped__ = fn
+        if register:
+            ALGORITHMS[name] = wrapper
+        return wrapper
+
+    return deco
+
+
+def get_algorithm(name: str) -> Callable:
+    """Registry lookup with a helpful error."""
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+
+
+def algorithm_names() -> list[str]:
+    return sorted(ALGORITHMS)
+
+
+def resolve_tracer(trace) -> object:
+    """Map a user-facing ``trace`` value onto a tracer instance.
+
+    ``None`` -> ambient, ``True`` -> fresh enabled tracer,
+    ``False`` -> the null tracer, a Tracer -> itself.
+    """
+    from repro.obs.tracer import NULL_TRACER, Tracer
+
+    if trace is None:
+        return current_tracer()
+    if trace is True:
+        return Tracer()
+    if trace is False:
+        return NULL_TRACER
+    return trace

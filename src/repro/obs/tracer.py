@@ -1,0 +1,324 @@
+"""Structured tracing: nested wall-clock spans with counters.
+
+This is the measurement substrate behind the paper's evaluation
+methodology (per-phase work/span/sync profiles, Figures 2–3): every
+algorithm run can emit a *span tree* — one timed node per algorithm,
+per backend dispatch, per source batch, per traversal level, per
+coarsen/refine level — with counters attached (frontier sizes, arc
+counts, batch lanes, pool gauges).
+
+Design constraints, in order:
+
+1. **Disabled tracing must cost nothing.**  The default tracer is
+   :data:`NULL_TRACER`, a falsy singleton whose methods are no-ops; hot
+   loops guard with ``if tr:`` so a disabled run executes only a
+   truthiness test per level.  The benchmark gate
+   (``benchmarks/test_obs_overhead.py``) holds this to <5 % on
+   R-MAT betweenness.
+2. **Identical span structure across execution backends.**  Spans are
+   recorded either directly (coordinator thread) or into per-task
+   sub-tracers that are serialized (:meth:`Span.to_dict`) and grafted
+   back in submission order (:meth:`Span.from_dict`), so
+   serial/thread/process runs of the same workload produce the same
+   tree shape.
+3. **Bounded memory.**  A tracer accepts at most ``max_spans`` spans;
+   past the budget new spans are counted in ``n_dropped`` and routed to
+   a detached sink node instead of the tree, so a long divisive run
+   cannot exhaust memory just because profiling is on.
+
+The *ambient* tracer (:func:`current_tracer` / :func:`use_tracer`) is a
+``contextvars.ContextVar``: entrypoints install their tracer for the
+duration of a call and every nested kernel — including ones that build
+their own throwaway :class:`~repro.parallel.runtime.ParallelContext` —
+picks it up without explicit plumbing.  Worker threads and processes
+start from the default (:data:`NULL_TRACER`), which is exactly what
+keeps the coordinator's tree race-free; their activity is captured by
+the per-task sub-tracers instead.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+]
+
+
+class Span:
+    """One timed node of a trace tree.
+
+    ``attrs`` holds counters and labels (frontier sizes, arc counts,
+    backend names, ...).  Durations are wall-clock seconds from
+    ``time.perf_counter``; a span still open when serialized reports the
+    time elapsed so far.
+    """
+
+    __slots__ = ("name", "t0", "t1", "attrs", "children")
+
+    def __init__(self, name: str, **attrs: Any) -> None:
+        self.name = name
+        self.t0 = time.perf_counter()
+        self.t1: Optional[float] = None
+        self.attrs: dict[str, Any] = attrs
+        self.children: list["Span"] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Span wall-clock seconds (elapsed-so-far if still open)."""
+        end = self.t1 if self.t1 is not None else time.perf_counter()
+        return end - self.t0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach/overwrite counter attributes."""
+        self.attrs.update(attrs)
+        return self
+
+    def add(self, key: str, delta: float = 1.0) -> "Span":
+        """Increment a counter attribute."""
+        self.attrs[key] = self.attrs.get(key, 0) + delta
+        return self
+
+    # ------------------------------------------------------------------
+    def find(self, name: str) -> list["Span"]:
+        """All descendant spans (including self) with the given name."""
+        out = [self] if self.name == name else []
+        for c in self.children:
+            out.extend(c.find(name))
+        return out
+
+    def structure(self) -> tuple:
+        """Timing-free structural signature: ``(name, child signatures)``.
+
+        Two runs of the same workload on different backends must produce
+        equal structures — the span-tree analogue of result parity.
+        """
+        return (self.name, tuple(c.structure() for c in self.children))
+
+    def walk(self) -> Iterator[tuple[int, "Span"]]:
+        """Depth-first ``(depth, span)`` traversal."""
+        stack: list[tuple[int, Span]] = [(0, self)]
+        while stack:
+            depth, sp = stack.pop()
+            yield depth, sp
+            for c in reversed(sp.children):
+                stack.append((depth + 1, c))
+
+    @property
+    def n_spans(self) -> int:
+        return 1 + sum(c.n_spans for c in self.children)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready (and picklable) representation of the subtree."""
+        return {
+            "name": self.name,
+            "duration_s": round(self.duration, 9),
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a (finished) span subtree from :meth:`to_dict` output.
+
+        Used to graft worker-side sub-traces into the coordinator's
+        tree; ``t0``/``t1`` are synthesized so ``duration`` round-trips.
+        """
+        sp = cls.__new__(cls)
+        sp.name = data["name"]
+        sp.t0 = 0.0
+        sp.t1 = float(data.get("duration_s", 0.0))
+        sp.attrs = dict(data.get("attrs", {}))
+        sp.children = [cls.from_dict(c) for c in data.get("children", [])]
+        return sp
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class Tracer:
+    """Collects a span tree from one coordinator thread.
+
+    Usage::
+
+        tr = Tracer()
+        with tr.span("betweenness", n_sources=64) as sp:
+            ...
+            sp.set(batches=n_batches)
+        tree = tr.root          # synthetic root holding top-level spans
+
+    Not thread-safe by design: only the coordinating thread records into
+    a tracer.  Parallel tasks record into their own sub-tracers which
+    the coordinator grafts back in deterministic (submission) order.
+    """
+
+    enabled = True
+
+    def __init__(self, *, max_spans: int = 200_000) -> None:
+        self.root = Span("trace")
+        self.max_spans = int(max_spans)
+        self.n_dropped = 0
+        self._n_spans = 0
+        self._stack: list[Span] = [self.root]
+        # Detached sink for over-budget spans: children attached to it
+        # are never part of the tree, so memory stays bounded while the
+        # begin/end discipline of callers is preserved.
+        self._sink = Span("dropped")
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    def begin(self, name: str, **attrs: Any) -> Span:
+        """Open a child span of the innermost open span."""
+        if self._n_spans >= self.max_spans:
+            self.n_dropped += 1
+            sp = self._sink
+            self._stack.append(sp)
+            return sp
+        sp = Span(name, **attrs)
+        self._n_spans += 1
+        self._stack[-1].children.append(sp)
+        self._stack.append(sp)
+        return sp
+
+    def end(self, span: Span, **attrs: Any) -> None:
+        """Close ``span`` (and any deeper spans left open by early exits)."""
+        if attrs and span is not self._sink:
+            span.attrs.update(attrs)
+        now = time.perf_counter()
+        while len(self._stack) > 1:
+            top = self._stack.pop()
+            if top.t1 is None:
+                top.t1 = now
+            if top is span:
+                return
+        # Span was not on the stack (already closed) — nothing to do.
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs: Any):
+        sp = self.begin(name, **attrs)
+        try:
+            yield sp
+        finally:
+            self.end(sp)
+
+    def graft(self, data: Optional[dict], **attrs: Any) -> Optional[Span]:
+        """Attach a serialized sub-trace as a child of the open span."""
+        if data is None:
+            return None
+        sp = Span.from_dict(data)
+        if attrs:
+            sp.attrs.update(attrs)
+        self._n_spans += sp.n_spans
+        self._stack[-1].children.append(sp)
+        return sp
+
+    # ------------------------------------------------------------------
+    def finish(self) -> Span:
+        """Close any open spans and return the root."""
+        now = time.perf_counter()
+        while len(self._stack) > 1:
+            top = self._stack.pop()
+            if top.t1 is None:
+                top.t1 = now
+        if self.root.t1 is None:
+            self.root.t1 = now
+        if self.n_dropped:
+            self.root.attrs["n_dropped_spans"] = self.n_dropped
+        return self.root
+
+    def to_dict(self) -> dict:
+        return self.finish().to_dict()
+
+
+class NullTracer:
+    """Falsy no-op tracer: the disabled-by-default fast path.
+
+    Every method is a no-op returning the shared ``_NULL_SPAN``; hot
+    loops additionally guard with ``if tr:`` so a disabled run pays one
+    truthiness check per instrumentation point.
+    """
+
+    enabled = False
+    n_dropped = 0
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def begin(self, name: str, **attrs: Any) -> "_NullSpan":
+        return _NULL_SPAN
+
+    def end(self, span: Any, **attrs: Any) -> None:
+        return None
+
+    def span(self, name: str, **attrs: Any) -> "_NullSpan":
+        return _NULL_SPAN
+
+    def graft(self, data: Optional[dict], **attrs: Any) -> None:
+        return None
+
+    def finish(self) -> None:
+        return None
+
+
+class _NullSpan:
+    """Reusable no-op span / context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def add(self, key: str, delta: float = 1.0) -> "_NullSpan":
+        return self
+
+    def __bool__(self) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+NULL_TRACER = NullTracer()
+"""Shared disabled tracer; the ambient default."""
+
+
+_AMBIENT: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_tracer", default=NULL_TRACER
+)
+
+
+def current_tracer():
+    """The ambient tracer (``NULL_TRACER`` unless a run installed one)."""
+    return _AMBIENT.get()
+
+
+@contextlib.contextmanager
+def use_tracer(tracer):
+    """Install ``tracer`` as the ambient tracer for the dynamic extent."""
+    token = _AMBIENT.set(tracer if tracer is not None else NULL_TRACER)
+    try:
+        yield tracer
+    finally:
+        _AMBIENT.reset(token)

@@ -30,12 +30,15 @@ context, so the instrumentation is always exercised.
 from __future__ import annotations
 
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 import numpy as np
 
+from repro.obs.tracer import Tracer, current_tracer, use_tracer
 from repro.parallel.costmodel import CostModel, MachineModel
 from repro.parallel.partitioner import (
     balanced_chunks,
@@ -61,6 +64,83 @@ def _picklable_by_reference(fn: Callable) -> bool:
         return False
 
 
+@dataclass
+class PoolStats:
+    """Backend pool gauges: what the execution substrate actually did.
+
+    Accumulated per context across :meth:`ParallelContext.map` /
+    :meth:`ParallelContext.map_batches` calls; exported by
+    :class:`~repro.obs.runner.RunResult` and the CLI profile output.
+    ``busy_seconds`` (summed task wall time) is only known when tracing
+    is enabled — utilization is busy time over ``elapsed × workers``.
+    """
+
+    map_calls: int = 0
+    batch_calls: int = 0
+    tasks_dispatched: int = 0
+    batches_dispatched: int = 0
+    lanes_dispatched: int = 0
+    shm_segments: int = 0
+    shm_bytes: int = 0
+    busy_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+
+    def utilization(self, n_workers: int) -> float:
+        """Mean worker utilization over the traced dispatch calls."""
+        cap = self.elapsed_seconds * max(1, n_workers)
+        if cap <= 0.0 or self.busy_seconds <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_seconds / cap)
+
+    def as_dict(self) -> dict:
+        return {
+            "map_calls": self.map_calls,
+            "batch_calls": self.batch_calls,
+            "tasks_dispatched": self.tasks_dispatched,
+            "batches_dispatched": self.batches_dispatched,
+            "lanes_dispatched": self.lanes_dispatched,
+            "shm_segments": self.shm_segments,
+            "shm_bytes": self.shm_bytes,
+            "busy_seconds": round(self.busy_seconds, 6),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+
+    def reset(self) -> None:
+        for f in self.__dataclass_fields__:
+            setattr(self, f, type(getattr(self, f))(0))
+
+
+def _traced_task(fn: Callable, item):
+    """Run one map task under a fresh sub-tracer.
+
+    Executes in-process, in a pool thread, or in a pool worker process;
+    in every case the task's spans land in a private tracer whose
+    serialized tree travels back with the result, so the coordinator
+    can graft it deterministically (submission order) and the span
+    structure is backend-independent.
+    """
+    sub = Tracer()
+    with use_tracer(sub):
+        sp = sub.begin("task")
+        try:
+            out = fn(item)
+        finally:
+            sub.end(sp)
+    return out, sp.to_dict()
+
+
+def _traced_batch_call(worker: Callable, graph, batch, payload):
+    """Run one batch-worker call under a fresh sub-tracer (see above)."""
+    sub = Tracer()
+    with use_tracer(sub):
+        sp = sub.begin("batch", lanes=int(len(batch)))
+        try:
+            out = worker(graph, batch, payload)
+        finally:
+            sub.end(sp)
+    return out, sp.to_dict()
+
+
 class ParallelContext:
     """Execution context carrying worker count and instrumentation."""
 
@@ -72,6 +152,7 @@ class ParallelContext:
         use_threads: bool = False,
         backend: Optional[str] = None,
         machine: Optional[MachineModel] = None,
+        trace=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -86,11 +167,25 @@ class ParallelContext:
         self.use_threads = backend != "serial"
         self.cost = CostModel(machine)
         self.sync = SyncCounters()
+        self.pool = PoolStats()
+        # ``trace=None`` means "follow the ambient tracer" — resolved at
+        # use time so a context created before tracing was installed
+        # still records.  An explicit tracer pins it.
+        self._tracer = trace
         self._thread_pool: Optional[ThreadPoolExecutor] = None
         self._process_pool: Optional[ProcessPoolExecutor] = None
         # id(graph) -> (graph, SharedGraph); the strong graph reference
         # keeps the id stable while the shared segment is cached.
         self._shared_graphs: dict = {}
+
+    @property
+    def tracer(self):
+        """The context's tracer: pinned if set, ambient otherwise."""
+        return self._tracer if self._tracer is not None else current_tracer()
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self._tracer = value
 
     # ------------------------------------------------------------------
     # Instrumentation passthroughs
@@ -186,6 +281,8 @@ class ParallelContext:
         if entry is None or entry[0] is not graph:
             entry = (graph, _shm.share_graph(graph))
             self._shared_graphs[id(graph)] = entry
+            self.pool.shm_segments += 1
+            self.pool.shm_bytes += entry[1].nbytes
         return entry[1]
 
     def close(self) -> None:
@@ -242,13 +339,58 @@ class ParallelContext:
         if items:
             self.cost.region()
             self.phase(float(cost_arr.sum()), float(cost_arr.max()))
-        if self.backend != "serial" and self.n_workers > 1 and len(items) > 1:
-            if self.backend == "process" and _picklable_by_reference(fn):
-                pool: object = self._ensure_process_pool()
+        self.pool.map_calls += 1
+        self.pool.tasks_dispatched += len(items)
+        use_pool = (
+            self.backend != "serial" and self.n_workers > 1 and len(items) > 1
+        )
+        tr = self.tracer
+        if not tr:
+            if use_pool:
+                if self.backend == "process" and _picklable_by_reference(fn):
+                    pool: object = self._ensure_process_pool()
+                else:
+                    pool = self._ensure_thread_pool()
+                return list(pool.map(fn, items))
+            return [fn(item) for item in items]
+        # Traced dispatch: every task runs under its own sub-tracer so
+        # serial/thread/process runs graft identical span structures.
+        with tr.span(
+            "map", backend=self.backend, n_tasks=len(items),
+            n_workers=self.n_workers,
+        ) as sp:
+            t0 = time.perf_counter()
+            if use_pool:
+                if self.backend == "process" and _picklable_by_reference(fn):
+                    from functools import partial
+
+                    pairs = list(
+                        self._ensure_process_pool().map(
+                            partial(_traced_task, fn), items
+                        )
+                    )
+                else:
+                    pairs = list(
+                        self._ensure_thread_pool().map(
+                            lambda item: _traced_task(fn, item), items
+                        )
+                    )
             else:
-                pool = self._ensure_thread_pool()
-            return list(pool.map(fn, items))
-        return [fn(item) for item in items]
+                pairs = [_traced_task(fn, item) for item in items]
+            elapsed = time.perf_counter() - t0
+            busy = 0.0
+            for i, (_, span_dict) in enumerate(pairs):
+                tr.graft(span_dict, index=i)
+                busy += span_dict.get("duration_s", 0.0)
+            self.pool.busy_seconds += busy
+            self.pool.elapsed_seconds += elapsed
+            sp.set(
+                busy_seconds=round(busy, 6),
+                utilization=round(
+                    min(1.0, busy / max(1e-12, elapsed * self.n_workers)), 4
+                ),
+            )
+            return [out for out, _ in pairs]
 
     def map_batches(
         self,
@@ -287,24 +429,87 @@ class ParallelContext:
                 raise ValueError("costs must align with batches")
         self.cost.region()
         self.phase(float(cost_arr.sum()), float(cost_arr.max()))
-        if self.backend == "process":
-            from repro.parallel import shm as _shm
+        self.pool.batch_calls += 1
+        self.pool.batches_dispatched += len(batches)
+        self.pool.lanes_dispatched += int(sum(len(b) for b in batches))
+        tr = self.tracer
+        if not tr:
+            if self.backend == "process":
+                from repro.parallel import shm as _shm
 
-            if not _picklable_by_reference(worker):
-                raise ValueError(
-                    "process backend requires a module-level worker function"
+                if not _picklable_by_reference(worker):
+                    raise ValueError(
+                        "process backend requires a module-level worker function"
+                    )
+                pool = self._ensure_process_pool()
+                spec = self._shared_graph(graph).spec
+                futures = [
+                    pool.submit(_shm._run_on_shared, spec, worker, b, payload)
+                    for b in batches
+                ]
+                return [f.result() for f in futures]
+            if self.backend == "thread" and self.n_workers > 1 and len(batches) > 1:
+                pool_t = self._ensure_thread_pool()
+                return list(
+                    pool_t.map(lambda b: worker(graph, b, payload), batches)
                 )
-            pool = self._ensure_process_pool()
-            spec = self._shared_graph(graph).spec
-            futures = [
-                pool.submit(_shm._run_on_shared, spec, worker, b, payload)
-                for b in batches
-            ]
-            return [f.result() for f in futures]
-        if self.backend == "thread" and self.n_workers > 1 and len(batches) > 1:
-            pool_t = self._ensure_thread_pool()
-            return list(pool_t.map(lambda b: worker(graph, b, payload), batches))
-        return [worker(graph, b, payload) for b in batches]
+            return [worker(graph, b, payload) for b in batches]
+        # Traced dispatch mirrors the untraced routing above; each batch
+        # records into a private sub-tracer whose tree is grafted back in
+        # submission order, so serial/thread/process emit identical span
+        # structures (only timings differ).
+        with tr.span(
+            "map_batches", backend=self.backend, n_batches=len(batches),
+            n_workers=self.n_workers,
+        ) as sp:
+            t0 = time.perf_counter()
+            if self.backend == "process":
+                from repro.parallel import shm as _shm
+
+                if not _picklable_by_reference(worker):
+                    raise ValueError(
+                        "process backend requires a module-level worker function"
+                    )
+                pool = self._ensure_process_pool()
+                spec = self._shared_graph(graph).spec
+                futures = [
+                    pool.submit(
+                        _shm._run_on_shared_traced, spec, worker, b, payload
+                    )
+                    for b in batches
+                ]
+                pairs = [f.result() for f in futures]
+            elif (
+                self.backend == "thread"
+                and self.n_workers > 1
+                and len(batches) > 1
+            ):
+                pool_t = self._ensure_thread_pool()
+                pairs = list(
+                    pool_t.map(
+                        lambda b: _traced_batch_call(worker, graph, b, payload),
+                        batches,
+                    )
+                )
+            else:
+                pairs = [
+                    _traced_batch_call(worker, graph, b, payload)
+                    for b in batches
+                ]
+            elapsed = time.perf_counter() - t0
+            busy = 0.0
+            for i, (_, span_dict) in enumerate(pairs):
+                tr.graft(span_dict, batch_index=i)
+                busy += span_dict.get("duration_s", 0.0)
+            self.pool.busy_seconds += busy
+            self.pool.elapsed_seconds += elapsed
+            sp.set(
+                busy_seconds=round(busy, 6),
+                utilization=round(
+                    min(1.0, busy / max(1e-12, elapsed * self.n_workers)), 4
+                ),
+            )
+            return [out for out, _ in pairs]
 
     # ------------------------------------------------------------------
     def modeled_time(self, p: Optional[int] = None) -> float:
@@ -318,6 +523,7 @@ class ParallelContext:
         """Clear instrumentation and release pools/shared segments."""
         self.cost.reset()
         self.sync = SyncCounters()
+        self.pool.reset()
         self.close()
 
 

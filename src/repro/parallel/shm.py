@@ -52,9 +52,15 @@ class SharedGraph:
     idempotent here.
     """
 
-    def __init__(self, shm: shared_memory.SharedMemory, spec: GraphSpec) -> None:
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        spec: GraphSpec,
+        nbytes: int = 0,
+    ) -> None:
         self.shm: Optional[shared_memory.SharedMemory] = shm
         self.spec = spec
+        self.nbytes = int(nbytes)
 
     def close(self) -> None:
         """Unmap and unlink the segment (parent-side cleanup)."""
@@ -95,7 +101,7 @@ def share_graph(graph: Graph) -> SharedGraph:
         view = np.ndarray((length,), dtype=np.dtype(dt), buffer=shm.buf, offset=off)
         view[:] = arrays[name]
     spec = GraphSpec(shm.name, graph.directed, graph.n_edges, tuple(layout))
-    return SharedGraph(shm, spec)
+    return SharedGraph(shm, spec, nbytes)
 
 
 # Per-process attach state.  The cache means a pool worker maps each
@@ -150,3 +156,11 @@ def _run_on_shared(spec: GraphSpec, worker, batch, payload):
     reference); its signature is ``worker(graph, batch, payload)``.
     """
     return worker(attach_graph(spec), batch, payload)
+
+
+def _run_on_shared_traced(spec: GraphSpec, worker, batch, payload):
+    """Like :func:`_run_on_shared`, but records the call under a fresh
+    sub-tracer and returns ``(result, span_dict)`` for grafting."""
+    from repro.parallel.runtime import _traced_batch_call
+
+    return _traced_batch_call(worker, attach_graph(spec), batch, payload)

@@ -25,6 +25,14 @@ class SyncCounters:
         self.cas_operations += other.cas_operations
         self.barriers += other.barriers
 
+    def as_dict(self) -> dict[str, int]:
+        """JSON-ready counter snapshot (observability export)."""
+        return {
+            "lock_acquisitions": self.lock_acquisitions,
+            "cas_operations": self.cas_operations,
+            "barriers": self.barriers,
+        }
+
 
 class CountedLock:
     """A re-entrant lock that counts acquisitions into a SyncCounters."""

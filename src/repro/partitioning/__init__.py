@@ -26,6 +26,7 @@ from repro.partitioning.metrics import (
 )
 from repro.partitioning.refine import fm_refine_bisection, kway_refine
 from repro.partitioning.multilevel import (
+    multilevel_bisection,
     multilevel_recursive_bisection,
     multilevel_kway,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "validate_partition",
     "fm_refine_bisection",
     "kway_refine",
+    "multilevel_bisection",
     "multilevel_recursive_bisection",
     "multilevel_kway",
     "spectral_bisection",

@@ -18,6 +18,7 @@ hierarchy, direct k-way refinement).
 
 from __future__ import annotations
 
+from contextlib import nullcontext as _noop
 from dataclasses import dataclass
 from typing import Optional
 
@@ -27,6 +28,8 @@ from repro.errors import PartitioningError
 from repro.graph.builder import compress_vertices, from_edge_array, induced_subgraph
 from repro.graph.csr import Graph, VERTEX_DTYPE
 from repro.kernels.bfs import bfs
+from repro.obs.api import algorithm
+from repro.obs.tracer import current_tracer
 from repro.partitioning.metrics import edge_cut, validate_partition
 from repro.partitioning.refine import fm_refine_bisection, kway_refine
 from repro.parallel.runtime import ParallelContext, ensure_context
@@ -89,17 +92,32 @@ def _coarsen(
     if vertex_weights is None:
         vertex_weights = np.ones(graph.n_vertices, dtype=np.float64)
     levels = [_Level(graph, np.asarray(vertex_weights, dtype=np.float64), None)]
+    tr = current_tracer()
     while (
         levels[-1].graph.n_vertices > coarsest_size and len(levels) < max_levels
     ):
         cur = levels[-1]
+        sp = (
+            tr.begin(
+                "coarsen_level",
+                level=len(levels) - 1,
+                n_vertices=cur.graph.n_vertices,
+                n_edges=cur.graph.n_edges,
+            )
+            if tr
+            else None
+        )
         mapping = _heavy_edge_matching(cur.graph, cur.vertex_weights, rng)
         n_coarse = int(mapping.max()) + 1
         if n_coarse >= cur.graph.n_vertices:  # no contraction possible
+            if sp is not None:
+                tr.end(sp, n_coarse=n_coarse, contracted=False)
             break
         coarse_graph = compress_vertices(cur.graph, mapping)
         cw = np.bincount(mapping, weights=cur.vertex_weights, minlength=n_coarse)
         levels.append(_Level(coarse_graph, cw, mapping))
+        if sp is not None:
+            tr.end(sp, n_coarse=n_coarse, contracted=True)
         if n_coarse > 0.95 * cur.graph.n_vertices:
             break  # matching stalled (e.g. star graphs)
     return levels
@@ -154,6 +172,7 @@ def _project(levels: list[_Level], coarse_labels: np.ndarray, upto: int) -> np.n
     return labels
 
 
+@algorithm("multilevel_bisection")
 def multilevel_bisection(
     graph: Graph,
     *,
@@ -168,26 +187,46 @@ def multilevel_bisection(
     n = graph.n_vertices
     if n <= 1:
         return np.zeros(n, dtype=bool)
-    levels = _coarsen(
-        graph, coarsest_size=max(64, 2), rng=rng, vertex_weights=vertex_weights
-    )
+    tr = ctx.tracer
+    with (tr.span("coarsen") if tr else _noop()):
+        levels = _coarsen(
+            graph, coarsest_size=max(64, 2), rng=rng,
+            vertex_weights=vertex_weights,
+        )
     ctx.serial(float(sum(l.graph.n_arcs for l in levels)))
-    side = _greedy_grow_bisection(
-        levels[-1].graph, levels[-1].vertex_weights, rng
-    )
+    with (
+        tr.span("initial_partition", n_coarse=levels[-1].graph.n_vertices)
+        if tr
+        else _noop()
+    ):
+        side = _greedy_grow_bisection(
+            levels[-1].graph, levels[-1].vertex_weights, rng
+        )
     for lvl in range(len(levels) - 1, 0, -1):
         mapping = levels[lvl].fine_to_coarse
         assert mapping is not None
         side = side[mapping]
+        sp = (
+            tr.begin(
+                "refine_level",
+                level=lvl - 1,
+                n_vertices=levels[lvl - 1].graph.n_vertices,
+            )
+            if tr
+            else None
+        )
         side = fm_refine_bisection(
             levels[lvl - 1].graph,
             side,
             vertex_weights=levels[lvl - 1].vertex_weights,
             max_imbalance=max_imbalance,
         )
+        if sp is not None:
+            tr.end(sp)
     return side
 
 
+@algorithm("multilevel_recursive_bisection", operands=1)
 def multilevel_recursive_bisection(
     graph: Graph,
     k: int,
@@ -233,6 +272,7 @@ def multilevel_recursive_bisection(
     return parts
 
 
+@algorithm("multilevel_kway", operands=1)
 def multilevel_kway(
     graph: Graph,
     k: int,
@@ -245,24 +285,40 @@ def multilevel_kway(
     _check_k(graph, k)
     ctx = ensure_context(ctx)
     rng = rng or np.random.default_rng(0)
-    levels = _coarsen(graph, coarsest_size=max(20 * k, 128), rng=rng)
+    tr = ctx.tracer
+    with (tr.span("coarsen") if tr else _noop()):
+        levels = _coarsen(graph, coarsest_size=max(20 * k, 128), rng=rng)
     ctx.serial(float(sum(l.graph.n_arcs for l in levels)))
     coarsest = levels[-1]
-    labels = multilevel_recursive_bisection(
-        coarsest.graph, k, rng=rng, max_imbalance=max_imbalance,
-        vertex_weights=coarsest.vertex_weights,
-    )
-    labels = kway_refine(
-        coarsest.graph,
-        labels,
-        k,
-        vertex_weights=coarsest.vertex_weights,
-        max_imbalance=max_imbalance,
-    )
+    with (
+        tr.span("initial_partition", n_coarse=coarsest.graph.n_vertices)
+        if tr
+        else _noop()
+    ):
+        labels = multilevel_recursive_bisection(
+            coarsest.graph, k, rng=rng, max_imbalance=max_imbalance,
+            vertex_weights=coarsest.vertex_weights,
+        )
+        labels = kway_refine(
+            coarsest.graph,
+            labels,
+            k,
+            vertex_weights=coarsest.vertex_weights,
+            max_imbalance=max_imbalance,
+        )
     for lvl in range(len(levels) - 1, 0, -1):
         mapping = levels[lvl].fine_to_coarse
         assert mapping is not None
         labels = labels[mapping]
+        sp = (
+            tr.begin(
+                "refine_level",
+                level=lvl - 1,
+                n_vertices=levels[lvl - 1].graph.n_vertices,
+            )
+            if tr
+            else None
+        )
         labels = kway_refine(
             levels[lvl - 1].graph,
             labels,
@@ -270,6 +326,8 @@ def multilevel_kway(
             vertex_weights=levels[lvl - 1].vertex_weights,
             max_imbalance=max_imbalance,
         )
+        if sp is not None:
+            tr.end(sp)
     validate_partition(graph, labels, k)
     return labels
 

@@ -36,6 +36,7 @@ from repro.graph.builder import induced_subgraph
 from repro.graph.csr import Graph, VERTEX_DTYPE
 from repro.partitioning.refine import fm_refine_bisection
 from repro.partitioning.metrics import validate_partition
+from repro.obs.api import algorithm
 from repro.parallel.runtime import ParallelContext, ensure_context
 
 _DEGENERATE_FRACTION = 0.01
@@ -211,6 +212,7 @@ def _rqi_refine(
     return x
 
 
+@algorithm("spectral_bisection")
 def spectral_bisection(
     graph: Graph,
     *,
@@ -242,6 +244,7 @@ def spectral_bisection(
     return side
 
 
+@algorithm("spectral_kway", operands=1)
 def spectral_kway(
     graph: Graph,
     k: int,

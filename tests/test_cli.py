@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -64,6 +66,90 @@ class TestPartition:
         parts = np.loadtxt(out_file, dtype=int)
         assert parts.shape[0] == 34
         assert set(parts.tolist()) == {0, 1}
+
+
+class TestBackendFlags:
+    def test_cluster_thread_backend(self, karate_file, capsys):
+        assert main(
+            ["cluster", karate_file, "-a", "pla",
+             "--backend", "thread", "--workers", "2"]
+        ) == 0
+        assert "Q = 0." in capsys.readouterr().out
+
+    def test_cluster_profile_output(self, karate_file, tmp_path, capsys):
+        prof = tmp_path / "cluster.json"
+        assert main(
+            ["cluster", karate_file, "-a", "pma", "--profile", str(prof)]
+        ) == 0
+        doc = json.loads(prof.read_text())
+        assert doc["command"] == "cluster"
+        assert doc["trace"]["name"] == "trace"
+        assert any(c["name"] == "pma" for c in doc["trace"]["children"])
+        assert "pool" in doc and "cost_model" in doc
+
+    def test_analyze_profile_output(self, karate_file, tmp_path):
+        prof = tmp_path / "analyze.json"
+        assert main(["analyze", karate_file, "--profile", str(prof)]) == 0
+        doc = json.loads(prof.read_text())
+        assert doc["command"] == "analyze"
+        assert doc["elapsed_seconds"] > 0
+
+    def test_partition_profile_output(self, karate_file, tmp_path):
+        prof = tmp_path / "partition.json"
+        assert main(
+            ["partition", karate_file, "-k", "2", "--profile", str(prof)]
+        ) == 0
+        doc = json.loads(prof.read_text())
+        assert doc["command"] == "partition"
+        names = json.dumps(doc["trace"])
+        assert "coarsen" in names
+
+
+class TestProfile:
+    def test_profile_file_input(self, karate_file, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        assert main(
+            ["profile", karate_file,
+             "--algorithms", "closeness,connected_components",
+             "-o", str(out)]
+        ) == 0
+        doc = json.loads(out.read_text())
+        assert doc["graph"]["n_vertices"] == 34
+        assert set(doc["runs"]) == {"closeness", "connected_components"}
+        close = doc["runs"]["closeness"]
+        assert close["trace"]["name"] == "trace"
+        flat = json.dumps(close["trace"])
+        for span_name in ("msbfs", "level", "map_batches", "batch"):
+            assert span_name in flat
+        text = capsys.readouterr().out
+        assert "closeness" in text
+
+    def test_profile_rmat_backend(self, tmp_path):
+        out = tmp_path / "profile.json"
+        assert main(
+            ["profile", "--rmat-scale", "6", "--seed", "0",
+             "--algorithms", "betweenness,pbd",
+             "--backend", "thread", "--workers", "2",
+             "-o", str(out)]
+        ) == 0
+        doc = json.loads(out.read_text())
+        assert doc["backend"] == "thread" and doc["n_workers"] == 2
+        bet = doc["runs"]["betweenness"]
+        flat = json.dumps(bet["trace"])
+        for span_name in ("brandes", "forward_level", "backward_level"):
+            assert span_name in flat
+        assert bet["pool"]["batch_calls"] >= 1
+        assert json.dumps(doc["runs"]["pbd"]["trace"]).count("brandes") >= 1
+
+    def test_profile_unknown_algorithm(self, karate_file, capsys):
+        assert main(
+            ["profile", karate_file, "--algorithms", "bogus"]
+        ) != 0
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_profile_needs_input(self, capsys):
+        assert main(["profile"]) != 0
+        assert capsys.readouterr().err
 
 
 class TestGenerateConvert:

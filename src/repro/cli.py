@@ -8,6 +8,7 @@ Mirrors the utility programs the original SNAP distribution shipped::
     python -m repro generate rmat --scale 12 --edge-factor 8 -o out.txt
     python -m repro convert  graph.txt out.graph --to metis
     python -m repro profile  --rmat-scale 10 -o profile.json
+    python -m repro check    --seed 0 --budget 30
 
 ``analyze``, ``cluster`` and ``partition`` accept ``--backend
 {serial,thread,process}`` / ``--workers P`` to pick the execution
@@ -268,6 +269,55 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.qa import differential as diff
+
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    reps = tuple(
+        r.strip() for r in args.representations.split(",") if r.strip()
+    )
+    checks = (
+        tuple(c.strip() for c in args.checks.split(",") if c.strip())
+        if args.checks
+        else None
+    )
+    if args.fault is not None and args.fault not in diff.FAULTS:
+        print(
+            f"check: unknown fault {args.fault!r}; "
+            f"known: {', '.join(sorted(diff.FAULTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.no_artifacts:
+        artifact_dir = None
+    elif args.artifacts is not None:
+        artifact_dir = Path(args.artifacts)
+    else:
+        artifact_dir = diff.DEFAULT_ARTIFACT_DIR
+    report = diff.run_differential(
+        args.seed,
+        n_graphs=args.graphs,
+        budget=args.budget,
+        backends=backends,
+        representations=reps,
+        checks=checks,
+        n_workers=args.workers,
+        fault=args.fault,
+        artifact_dir=artifact_dir,
+        shrink_failures=not args.no_shrink,
+    )
+    print(report.summary())
+    for f in report.failures:
+        if f.artifact is not None:
+            print(f"  reproducer: {f.artifact}")
+    if report.ok:
+        print(
+            f"OK: {report.n_runs} oracle comparisons agreed across "
+            f"backends={'/'.join(backends)} representations={'/'.join(reps)}"
+        )
+    return 0 if report.ok else 1
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     if args.family == "rmat":
@@ -367,6 +417,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="flame summary depth")
     p.add_argument("-o", "--output", default="profile.json")
     p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser(
+        "check",
+        help="differential correctness check: fuzz kernels against "
+             "pure-Python oracles across backends and representations",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--graphs", type=int, default=56,
+                   help="corpus size (pathological set + random families)")
+    p.add_argument("--budget", type=float, default=None,
+                   help="soft wall-clock budget in seconds")
+    p.add_argument("--backends", default="serial,thread,process",
+                   help="comma-separated execution backends")
+    p.add_argument("--representations", default="csr,dynamic,hybrid,treap",
+                   help="comma-separated graph representations")
+    p.add_argument("--checks", default=None,
+                   help="comma-separated check names (default: all)")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--fault", default=None,
+                   help="inject a known fault (harness self-test); "
+                        "the run is expected to FAIL")
+    p.add_argument("--artifacts", default=None,
+                   help="directory for minimal reproducer files "
+                        "(default: benchmarks/results/qa)")
+    p.add_argument("--no-artifacts", action="store_true",
+                   help="do not write reproducer files")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report failures without minimizing them")
+    p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("generate", help="synthetic graph generators")
     p.add_argument("family", choices=["rmat", "smallworld", "random",

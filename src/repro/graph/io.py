@@ -24,6 +24,15 @@ def _open_text(path_or_file, mode: str):
     return path_or_file, False
 
 
+def _fmt_weight(w) -> str:
+    """Shortest decimal string that round-trips through ``float()``.
+
+    ``{:g}`` keeps only 6 significant digits, so write→read used to lose
+    weight precision; ``repr`` is exact for every finite float.
+    """
+    return repr(float(w))
+
+
 # ---------------------------------------------------------------------------
 # Plain edge lists:  "u v [w]" per line, '#' or '%' comments.
 # ---------------------------------------------------------------------------
@@ -90,7 +99,7 @@ def write_edge_list(graph: Graph, path_or_file) -> None:
         if graph.is_weighted:
             w = graph.edge_weights()
             for i in range(graph.n_edges):
-                f.write(f"{int(u[i])} {int(v[i])} {w[i]:g}\n")
+                f.write(f"{int(u[i])} {int(v[i])} {_fmt_weight(w[i])}\n")
         else:
             for i in range(graph.n_edges):
                 f.write(f"{int(u[i])} {int(v[i])}\n")
@@ -107,20 +116,26 @@ def read_metis(path_or_file) -> Graph:
     """Read a graph in METIS ``.graph`` format (undirected)."""
     f, should_close = _open_text(path_or_file, "r")
     try:
+        # Blank lines are significant in the body — they are the
+        # adjacency of isolated vertices — so only comments are dropped.
         lines = [
-            ln.strip()
-            for ln in f
-            if ln.strip() and not ln.lstrip().startswith("%")
+            ln.strip() for ln in f if not ln.lstrip().startswith("%")
         ]
     finally:
         if should_close:
             f.close()
+    while lines and not lines[0]:
+        lines.pop(0)
     if not lines:
         raise GraphFormatError("empty METIS file")
     header = lines[0].split()
     if len(header) < 2:
         raise GraphFormatError("METIS header must be 'n m [fmt]'")
     n, m = int(header[0]), int(header[1])
+    # Tolerate extra trailing blank lines, but keep the n significant
+    # ones (trailing isolated vertices round-trip as blank lines).
+    while len(lines) - 1 > n and not lines[-1]:
+        lines.pop()
     fmt = header[2] if len(header) > 2 else "0"
     has_ewgt = fmt.endswith("1") and len(fmt) <= 2  # "1" or "01"/"11"
     if len(lines) - 1 != n:
@@ -168,7 +183,10 @@ def write_metis(graph: Graph, path_or_file) -> None:
             if graph.is_weighted:
                 w = graph.neighbor_weights(u)
                 f.write(
-                    " ".join(f"{int(t) + 1} {x:g}" for t, x in zip(adj, w)) + "\n"
+                    " ".join(
+                        f"{int(t) + 1} {_fmt_weight(x)}" for t, x in zip(adj, w)
+                    )
+                    + "\n"
                 )
             else:
                 f.write(" ".join(str(int(t) + 1) for t in adj) + "\n")
@@ -228,9 +246,9 @@ def write_dimacs(graph: Graph, path_or_file) -> None:
         arcs = graph.n_edges if graph.directed else 2 * graph.n_edges
         f.write(f"p sp {graph.n_vertices} {arcs}\n")
         for i in range(graph.n_edges):
-            f.write(f"a {int(u[i]) + 1} {int(v[i]) + 1} {w[i]:g}\n")
+            f.write(f"a {int(u[i]) + 1} {int(v[i]) + 1} {_fmt_weight(w[i])}\n")
             if not graph.directed:
-                f.write(f"a {int(v[i]) + 1} {int(u[i]) + 1} {w[i]:g}\n")
+                f.write(f"a {int(v[i]) + 1} {int(u[i]) + 1} {_fmt_weight(w[i])}\n")
     finally:
         if should_close:
             f.close()

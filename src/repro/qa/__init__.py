@@ -1,0 +1,59 @@
+"""Differential correctness subsystem (oracles, invariants, fuzzing).
+
+Three layers, each usable on its own:
+
+* :mod:`repro.qa.oracles` — small, obviously-correct pure-Python
+  reference implementations of the paper's kernels;
+* :mod:`repro.qa.invariants` — structural validators for every graph
+  representation and shape checkers for algorithm results;
+* :mod:`repro.qa.differential` — the seeded fuzz driver that crosses a
+  graph corpus with all backend × representation combinations, compares
+  against the oracles, and shrinks failures to minimal edge-list
+  reproducers.
+
+CLI front door: ``python -m repro check --seed 0``.
+"""
+
+from repro.qa.invariants import (
+    InvariantViolation,
+    assert_valid,
+    check_centrality,
+    check_dendrogram,
+    check_distances,
+    check_forest,
+    check_partition,
+    validate,
+)
+from repro.qa.differential import (
+    BACKENDS,
+    CHECKS,
+    FAULTS,
+    REPRESENTATIONS,
+    CorpusGraph,
+    Failure,
+    Report,
+    corpus,
+    run_differential,
+    shrink,
+)
+
+__all__ = [
+    "InvariantViolation",
+    "assert_valid",
+    "validate",
+    "check_partition",
+    "check_centrality",
+    "check_distances",
+    "check_forest",
+    "check_dendrogram",
+    "BACKENDS",
+    "REPRESENTATIONS",
+    "CHECKS",
+    "FAULTS",
+    "CorpusGraph",
+    "Failure",
+    "Report",
+    "corpus",
+    "run_differential",
+    "shrink",
+]

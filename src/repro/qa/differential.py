@@ -1,0 +1,842 @@
+"""Differential fuzz harness: corpus × backends × representations × oracles.
+
+The driver generates a seeded corpus of small graphs (random families
+plus pathological shapes), builds each graph through every mutable
+representation path (direct CSR, dynamic arrays with insert/delete
+churn, hybrid array↔treap adjacency, pure per-vertex treaps), runs each
+registered check across the serial/thread/process execution backends,
+and compares every result against the pure-Python oracles in
+:mod:`repro.qa.oracles` under per-check tolerance rules.  Structural
+invariants (:mod:`repro.qa.invariants`) are asserted on every
+intermediate representation and on result shapes.
+
+On a mismatch the failing graph is shrunk by greedy vertex deletion
+then greedy edge deletion to a minimal reproducer, which is dumped as a
+commented edge-list artifact under ``benchmarks/results/qa/`` so the
+regression can be replayed from the saved file.
+
+Fault injection (``fault=``) corrupts one check's kernel output on
+purpose; the harness's self-test uses it to prove that a real bug would
+be caught *and* shrunk small (see ``tests/test_differential.py``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.graph import builder
+from repro.graph.csr import Graph
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.hybrid import HybridAdjacency
+from repro.graph.treap import Treap
+from repro.parallel.runtime import ParallelContext
+from repro.qa import invariants, oracles
+
+__all__ = [
+    "CorpusGraph",
+    "Failure",
+    "Report",
+    "corpus",
+    "run_differential",
+    "shrink",
+    "BACKENDS",
+    "REPRESENTATIONS",
+    "CHECKS",
+    "FAULTS",
+]
+
+BACKENDS = ("serial", "thread", "process")
+REPRESENTATIONS = ("csr", "dynamic", "hybrid", "treap")
+
+DEFAULT_ARTIFACT_DIR = Path("benchmarks") / "results" / "qa"
+
+_FLOAT_TOL = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Corpus
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CorpusGraph:
+    """One fuzz input: a raw edge list, before any canonicalization.
+
+    Edge tuples are ``(u, v)`` or ``(u, v, w)``; self-loops and
+    duplicates are allowed on purpose — dropping them identically on
+    both the oracle and the optimized path is part of the contract
+    under test.
+    """
+
+    name: str
+    n: int
+    edges: tuple
+    directed: bool = False
+
+    @property
+    def weighted(self) -> bool:
+        return any(len(e) > 2 for e in self.edges)
+
+    def ref(self) -> oracles.RefGraph:
+        return oracles.RefGraph(self.n, self.edges, directed=self.directed)
+
+    def csr(self) -> Graph:
+        src = np.asarray([e[0] for e in self.edges], dtype=np.int64)
+        dst = np.asarray([e[1] for e in self.edges], dtype=np.int64)
+        w = (
+            np.asarray([e[2] if len(e) > 2 else 1.0 for e in self.edges])
+            if self.weighted
+            else None
+        )
+        return builder.from_edge_array(
+            self.n, src, dst, weights=w, directed=self.directed
+        )
+
+
+def _path(n: int) -> list[tuple[int, int]]:
+    return [(i, i + 1) for i in range(n - 1)]
+
+
+def _cycle(n: int) -> list[tuple[int, int]]:
+    return _path(n) + [(n - 1, 0)]
+
+
+def _star(n: int) -> list[tuple[int, int]]:
+    return [(0, i) for i in range(1, n)]
+
+
+def _complete(n: int) -> list[tuple[int, int]]:
+    return [(i, j) for i in range(n) for j in range(i + 1, n)]
+
+
+def _pathological() -> list[CorpusGraph]:
+    """Fixed corner-case graphs every fuzz run always includes."""
+    from repro.datasets.karate import KARATE_EDGES
+
+    two_cliques = (
+        _complete(4)
+        + [(u + 4, v + 4) for u, v in _complete(4)]
+        + [(3, 4)]
+    )
+    multi_component = _path(3) + [(4, 5), (5, 6), (4, 6)] + [(8, 9)]
+    self_loopy = [(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (0, 1), (2, 0), (3, 3)]
+    tie_weights = [
+        (0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0),
+        (3, 4, 2.0), (4, 5, 2.0), (5, 3, 2.0), (3, 5, 2.0),
+    ]
+    return [
+        CorpusGraph("empty_0", 0, ()),
+        CorpusGraph("isolated_5", 5, ()),
+        CorpusGraph("single_edge", 2, ((0, 1),)),
+        CorpusGraph("path_8", 8, tuple(_path(8))),
+        CorpusGraph("cycle_6", 6, tuple(_cycle(6))),
+        CorpusGraph("star_9", 9, tuple(_star(9))),
+        CorpusGraph("complete_6", 6, tuple(_complete(6))),
+        CorpusGraph("two_cliques_bridge", 8, tuple(two_cliques)),
+        CorpusGraph("multi_component", 10, tuple(multi_component)),
+        CorpusGraph("self_loop_heavy", 4, tuple(self_loopy)),
+        CorpusGraph("tie_weights", 6, tuple(tie_weights)),
+        CorpusGraph("karate", 34, tuple(KARATE_EDGES)),
+    ]
+
+
+def _rand_er(rng: random.Random, name: str) -> CorpusGraph:
+    n = rng.randint(2, 16)
+    m = rng.randint(0, n * (n - 1) // 2)
+    edges = []
+    for _ in range(m):
+        edges.append((rng.randrange(n), rng.randrange(n)))  # loops/dups ok
+    return CorpusGraph(name, n, tuple(edges))
+
+
+def _rand_rmat(rng: random.Random, name: str) -> CorpusGraph:
+    """Tiny pure-Python R-MAT sampler (quadrant recursion)."""
+    scale = rng.randint(3, 4)
+    n = 1 << scale
+    m = rng.randint(n, 3 * n)
+    edges = []
+    for _ in range(m):
+        u = v = 0
+        for _ in range(scale):
+            r = rng.random()
+            # (a, b, c, d) = (0.45, 0.22, 0.22, 0.11)
+            if r < 0.45:
+                q = 0
+            elif r < 0.67:
+                q = 1
+            elif r < 0.89:
+                q = 2
+            else:
+                q = 3
+            u = 2 * u + (q >> 1)
+            v = 2 * v + (q & 1)
+        edges.append((u, v))
+    return CorpusGraph(name, n, tuple(edges))
+
+
+def _rand_planted(rng: random.Random, name: str) -> CorpusGraph:
+    blocks = rng.randint(2, 3)
+    size = rng.randint(3, 5)
+    n = blocks * size
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            same = u // size == v // size
+            p = 0.7 if same else 0.08
+            if rng.random() < p:
+                edges.append((u, v))
+    return CorpusGraph(name, n, tuple(edges))
+
+
+def _rand_weighted(rng: random.Random, name: str) -> CorpusGraph:
+    base = _rand_er(rng, name)
+    # Small integer weight pool forces plenty of MST/SSSP ties.
+    edges = tuple(
+        (u, v, float(rng.choice((1, 1, 2, 3, 5)))) for u, v in base.edges
+    )
+    return CorpusGraph(name, base.n, edges)
+
+
+_FAMILIES = (_rand_er, _rand_rmat, _rand_planted, _rand_weighted)
+
+
+def corpus(seed: int, n_graphs: int = 56) -> list[CorpusGraph]:
+    """Seeded fuzz corpus: all pathological cases + random families."""
+    items = _pathological()
+    rng = random.Random(seed)
+    i = 0
+    while len(items) < n_graphs:
+        fam = _FAMILIES[i % len(_FAMILIES)]
+        items.append(fam(rng, f"{fam.__name__.lstrip('_')}_{i}"))
+        i += 1
+    return items[:n_graphs]
+
+
+# ---------------------------------------------------------------------------
+# Representations: edge list -> CSR Graph, through different mutable paths
+# ---------------------------------------------------------------------------
+def _canonical_edges(item: CorpusGraph) -> list[tuple[int, int, float]]:
+    """Canonical (u<v, deduped, loop-free) weighted edge list — what every
+    representation must converge to."""
+    return sorted(item.ref().edges)
+
+
+def _build_csr(item: CorpusGraph, rng: random.Random) -> Graph:
+    return item.csr()
+
+
+def _churn_plan(item: CorpusGraph, rng: random.Random):
+    """Decoy edges to insert then delete, exercising the mutation paths."""
+    present = {(min(u, v), max(u, v)) for u, v, _ in _canonical_edges(item)}
+    decoys = []
+    for _ in range(min(3 * item.n, 40)):
+        u, v = rng.randrange(item.n), rng.randrange(item.n)
+        if u != v and (min(u, v), max(u, v)) not in present:
+            decoys.append((u, v))
+    return decoys
+
+
+def _build_dynamic(item: CorpusGraph, rng: random.Random) -> Graph:
+    dyn = DynamicGraph(item.n, sorted_adjacency=rng.random() < 0.5)
+    edges = _canonical_edges(item)
+    rng.shuffle(edges)
+    for u, v, w in edges:
+        dyn.add_edge(u, v, w)
+    for u, v in _churn_plan(item, rng):
+        dyn.add_edge(u, v, 9.0)
+        dyn.delete_edge(u, v)
+    invariants.assert_valid(dyn)
+    return dyn.to_csr()
+
+
+def _from_adjacency(item: CorpusGraph, neighbors: Callable[[int], Sequence[int]]) -> Graph:
+    """Rebuild a CSR graph from a topology-only adjacency, reattaching
+    the canonical weights."""
+    wmap = {(u, v): w for u, v, w in _canonical_edges(item)}
+    src, dst, wgt = [], [], []
+    for u in range(item.n):
+        for v in neighbors(u):
+            v = int(v)
+            if u < v:
+                src.append(u)
+                dst.append(v)
+                wgt.append(wmap[(u, v)])
+    return builder.from_edge_array(
+        item.n,
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        weights=np.asarray(wgt) if item.weighted else None,
+        directed=False,
+        dedupe=False,
+    )
+
+
+def _build_hybrid(item: CorpusGraph, rng: random.Random) -> Graph:
+    # A tiny threshold forces array->treap promotion (and demotion on
+    # churn deletes) even on small fuzz graphs.
+    hyb = HybridAdjacency(item.n, degree_threshold=rng.choice((2, 3, 4)))
+    edges = _canonical_edges(item)
+    rng.shuffle(edges)
+    for u, v, _ in edges:
+        hyb.add_edge(u, v)
+    for u, v in _churn_plan(item, rng):
+        hyb.add_edge(u, v)
+        hyb.delete_edge(u, v)
+    invariants.assert_valid(hyb)
+    return _from_adjacency(item, hyb.neighbors)
+
+
+def _build_treap(item: CorpusGraph, rng: random.Random) -> Graph:
+    slots = [Treap(seed=rng.randrange(1 << 30)) for _ in range(item.n)]
+    edges = _canonical_edges(item)
+    rng.shuffle(edges)
+    for u, v, w in edges:
+        slots[u].insert(v, w)
+        slots[v].insert(u, w)
+    for u, v in _churn_plan(item, rng):
+        slots[u].insert(v)
+        slots[v].insert(u)
+        slots[u].delete(v)
+        slots[v].delete(u)
+    for t in slots:
+        invariants.assert_valid(t)
+    return _from_adjacency(item, lambda u: slots[u].keys_array())
+
+
+_REP_BUILDERS = {
+    "csr": _build_csr,
+    "dynamic": _build_dynamic,
+    "hybrid": _build_hybrid,
+    "treap": _build_treap,
+}
+
+
+def build_representation(item: CorpusGraph, representation: str, seed: int) -> Graph:
+    """Build ``item`` through the named representation path, validating
+    both the intermediate structure and the final CSR snapshot."""
+    if representation != "csr" and (item.directed or representation not in _REP_BUILDERS):
+        raise ValueError(
+            f"representation {representation!r} unsupported for this item"
+        )
+    # hash() on strings is salted per process; crc32 keeps the churn
+    # plan reproducible across runs and across pool workers.
+    rng = random.Random(
+        zlib.crc32(f"{seed}:{item.name}:{representation}".encode())
+    )
+    g = _REP_BUILDERS[representation](item, rng)
+    invariants.assert_valid(g)
+    return g
+
+
+# ---------------------------------------------------------------------------
+# Checks
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Check:
+    """One differential check: optimized run vs oracle expectation."""
+
+    name: str
+    run: Callable  # (graph: Graph, ctx) -> value
+    oracle: Callable  # (ref: RefGraph) -> expected
+    compare: Callable  # (value, expected, graph) -> Optional[str]
+    weighted_ok: bool = True
+    directed_ok: bool = False
+    min_vertices: int = 0
+
+
+def _cmp_int_arrays(value, expected, graph) -> Optional[str]:
+    got = np.asarray(value, dtype=np.int64)
+    exp = np.asarray(expected, dtype=np.int64)
+    if got.shape != exp.shape:
+        return f"shape {got.shape} != {exp.shape}"
+    if not np.array_equal(got, exp):
+        idx = np.nonzero(got != exp)[0][:5].tolist()
+        return f"mismatch at {idx}: got {got[idx].tolist()} expected {exp[idx].tolist()}"
+    return None
+
+
+def _cmp_float_arrays(value, expected, graph) -> Optional[str]:
+    got = np.asarray(value, dtype=np.float64)
+    exp = np.asarray(expected, dtype=np.float64)
+    if got.shape != exp.shape:
+        return f"shape {got.shape} != {exp.shape}"
+    # isclose treats equal signed infinities as close, which is the
+    # semantics we want for unreachable-vertex distances.
+    ok = np.isclose(got, exp, rtol=_FLOAT_TOL, atol=_FLOAT_TOL, equal_nan=True)
+    if not ok.all():
+        i = int(np.nonzero(~ok)[0][0])
+        return f"deviation at index {i}: got {got[i]!r}, expected {exp[i]!r}"
+    return None
+
+
+def _cmp_scalar(value, expected, graph) -> Optional[str]:
+    if abs(float(value) - float(expected)) > _FLOAT_TOL * max(
+        1.0, abs(float(expected))
+    ):
+        return f"got {float(value)!r}, expected {float(expected)!r}"
+    return None
+
+
+def _run_bfs(graph: Graph, ctx) -> np.ndarray:
+    from repro.kernels.bfs import bfs
+
+    res = bfs(graph, 0, ctx=ctx)
+    shape_bad = invariants.check_distances(res.distances, graph.n_vertices, 0)
+    if shape_bad:
+        raise invariants.InvariantViolation("; ".join(shape_bad))
+    return res.distances
+
+
+def _run_cc(method: str):
+    def run(graph: Graph, ctx) -> np.ndarray:
+        from repro.kernels.connected import connected_components
+
+        labels = connected_components(graph, ctx=ctx, method=method)
+        shape_bad = invariants.check_partition(labels, graph.n_vertices)
+        if shape_bad:
+            raise invariants.InvariantViolation("; ".join(shape_bad))
+        return labels
+
+    return run
+
+
+def _run_betweenness(graph: Graph, ctx) -> np.ndarray:
+    from repro.centrality.betweenness import betweenness_centrality
+
+    scores = betweenness_centrality(graph, ctx=ctx)
+    shape_bad = invariants.check_centrality(
+        scores, graph.n_vertices, name="betweenness"
+    )
+    if shape_bad:
+        raise invariants.InvariantViolation("; ".join(shape_bad))
+    return scores
+
+
+def _run_closeness(graph: Graph, ctx) -> np.ndarray:
+    from repro.centrality.closeness import closeness_centrality
+
+    scores = closeness_centrality(graph, ctx=ctx)
+    shape_bad = invariants.check_centrality(
+        scores, graph.n_vertices, name="closeness"
+    )
+    if shape_bad:
+        raise invariants.InvariantViolation("; ".join(shape_bad))
+    return scores
+
+
+def _run_sssp(engine: str):
+    def run(graph: Graph, ctx) -> np.ndarray:
+        from repro.kernels.sssp import delta_stepping, dijkstra
+
+        fn = dijkstra if engine == "dijkstra" else delta_stepping
+        return fn(graph, 0, ctx=ctx).distances
+
+    return run
+
+
+def _run_msf(method: str):
+    def run(graph: Graph, ctx) -> float:
+        from repro.kernels.mst import forest_weight, minimum_spanning_forest
+
+        ids = minimum_spanning_forest(graph, ctx=ctx, method=method)
+        shape_bad = invariants.check_forest(graph, ids)
+        if shape_bad:
+            raise invariants.InvariantViolation("; ".join(shape_bad))
+        return forest_weight(graph, ids)
+
+    return run
+
+
+def _part_labels(n: int) -> np.ndarray:
+    return np.arange(n, dtype=np.int64) % 3 if n else np.empty(0, dtype=np.int64)
+
+
+def _run_modularity(graph: Graph, ctx) -> tuple[float, float]:
+    from repro.community.modularity import modularity
+    from repro.kernels.connected import connected_components
+
+    comp = connected_components(graph, ctx=ctx)
+    return (
+        modularity(graph, _part_labels(graph.n_vertices)),
+        modularity(graph, comp),
+    )
+
+
+def _oracle_modularity(ref: oracles.RefGraph) -> tuple[float, float]:
+    comp = oracles.connected_components(ref)
+    return (
+        oracles.modularity(ref, [v % 3 for v in range(ref.n)]),
+        oracles.modularity(ref, comp),
+    )
+
+
+def _cmp_scalar_pair(value, expected, graph) -> Optional[str]:
+    for got, exp in zip(value, expected):
+        msg = _cmp_scalar(got, exp, graph)
+        if msg:
+            return msg
+    return None
+
+
+def _run_edge_cut(graph: Graph, ctx) -> float:
+    from repro.partitioning.metrics import edge_cut
+
+    return edge_cut(graph, _part_labels(graph.n_vertices))
+
+
+def _run_cnm(graph: Graph, ctx):
+    from repro.community.cnm import cnm
+
+    result = cnm(graph, ctx=ctx)
+    bad = invariants.check_partition(result.labels, graph.n_vertices)
+    dendro = result.extras.get("dendrogram")
+    if dendro is not None:
+        bad += invariants.check_dendrogram(dendro.merges, graph.n_vertices)
+    if bad:
+        raise invariants.InvariantViolation("; ".join(bad))
+    return float(result.modularity), result.labels
+
+
+def _cmp_cnm(value, ref, graph) -> Optional[str]:
+    # CNM is heuristic, so its *labels* have no oracle value; the
+    # differential claim is that the incrementally-tracked modularity it
+    # reports equals the oracle's modularity of the labels it returned.
+    reported, labels = value
+    expect = oracles.modularity(ref, [int(x) for x in labels])
+    if abs(reported - expect) > 1e-6:
+        return f"reported modularity {reported!r} != oracle {expect!r} for its own labels"
+    return None
+
+
+CHECKS: tuple[Check, ...] = (
+    Check("bfs", _run_bfs, lambda ref: oracles.bfs_levels(ref, 0),
+          _cmp_int_arrays, directed_ok=True, min_vertices=1),
+    Check("connected_sv", _run_cc("sv"), oracles.connected_components,
+          _cmp_int_arrays, directed_ok=True),
+    Check("connected_bfs", _run_cc("bfs"), oracles.connected_components,
+          _cmp_int_arrays),
+    # The oracle mirrors the kernel's auto-detect: non-unit weights
+    # switch both sides to Dijkstra-ordered accumulation.
+    Check("betweenness", _run_betweenness,
+          lambda ref: oracles.brandes_betweenness(
+              ref, weighted=any(w != 1.0 for _, _, w in ref.edges)),
+          _cmp_float_arrays),
+    Check("closeness", _run_closeness, oracles.closeness, _cmp_float_arrays),
+    Check("sssp_dijkstra", _run_sssp("dijkstra"),
+          lambda ref: oracles.dijkstra_distances(ref, 0),
+          _cmp_float_arrays, min_vertices=1),
+    Check("sssp_delta", _run_sssp("delta"),
+          lambda ref: oracles.dijkstra_distances(ref, 0),
+          _cmp_float_arrays, min_vertices=1),
+    Check("msf_boruvka", _run_msf("boruvka"), oracles.msf_weight, _cmp_scalar),
+    Check("msf_kruskal", _run_msf("kruskal"), oracles.msf_weight, _cmp_scalar),
+    Check("modularity", _run_modularity, _oracle_modularity, _cmp_scalar_pair),
+    Check("edge_cut", _run_edge_cut,
+          lambda ref: oracles.edge_cut(ref, [v % 3 for v in range(ref.n)]),
+          _cmp_scalar),
+    # min_vertices=1: clustering an empty graph raises by contract.
+    Check("cnm", _run_cnm, lambda ref: ref, _cmp_cnm, min_vertices=1),
+)
+
+
+# ---------------------------------------------------------------------------
+# Fault injection (harness self-test)
+# ---------------------------------------------------------------------------
+def _fault_bfs_plus_one(value, graph):
+    """Corrupt the farthest reached vertex's distance by +1."""
+    dist = np.array(value)
+    reached = np.nonzero(dist > 0)[0]
+    if reached.shape[0]:
+        dist[reached[-1]] += 1
+    return dist
+
+
+def _fault_cc_orphan(value, graph):
+    """Split the highest vertex out of its component."""
+    labels = np.array(value)
+    if labels.shape[0]:
+        labels[-1] = labels.shape[0] - 1
+    return labels
+
+
+def _fault_betweenness_scale(value, graph):
+    return np.asarray(value) * 1.0001
+
+
+FAULTS: dict[str, tuple[str, Callable]] = {
+    "bfs_plus_one": ("bfs", _fault_bfs_plus_one),
+    "cc_orphan": ("connected_sv", _fault_cc_orphan),
+    "betweenness_scale": ("betweenness", _fault_betweenness_scale),
+}
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+@dataclass
+class Failure:
+    """One oracle mismatch / invariant violation, with its reproducer."""
+
+    check: str
+    backend: str
+    representation: str
+    graph_name: str
+    detail: str
+    n_vertices: int
+    edges: tuple
+    minimal: Optional[CorpusGraph] = None
+    artifact: Optional[Path] = None
+
+    def summary(self) -> str:
+        where = f"{self.check} [{self.backend}/{self.representation}] on {self.graph_name}"
+        extra = ""
+        if self.minimal is not None:
+            extra = (
+                f" (shrunk to {self.minimal.n} vertices / "
+                f"{len(self.minimal.edges)} edges)"
+            )
+        return f"{where}: {self.detail}{extra}"
+
+
+@dataclass
+class Report:
+    """Outcome of one differential run."""
+
+    seed: int
+    n_graphs: int = 0
+    n_runs: int = 0
+    failures: list[Failure] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    backends: tuple = BACKENDS
+    representations: tuple = REPRESENTATIONS
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"differential check: seed={self.seed} graphs={self.n_graphs} "
+            f"runs={self.n_runs} failures={len(self.failures)} "
+            f"[{self.elapsed_seconds:.1f}s]"
+        ]
+        lines += [f"  FAIL {f.summary()}" for f in self.failures]
+        return "\n".join(lines)
+
+
+def _applicable(check: Check, item: CorpusGraph) -> bool:
+    if item.n < check.min_vertices:
+        return False
+    if item.directed and not check.directed_ok:
+        return False
+    if item.weighted and not check.weighted_ok:
+        return False
+    return True
+
+
+def _evaluate(
+    check: Check,
+    item: CorpusGraph,
+    representation: str,
+    ctx,
+    seed: int,
+    fault_fn: Optional[Callable],
+) -> Optional[str]:
+    """Run one (check, graph, representation) cell.  Returns the failure
+    detail string, or None on agreement."""
+    try:
+        graph = build_representation(item, representation, seed)
+        value = check.run(graph, ctx)
+        if fault_fn is not None:
+            value = fault_fn(value, graph)
+        expected = check.oracle(item.ref())
+        return check.compare(value, expected, graph)
+    except Exception as exc:  # crash or invariant violation IS a failure
+        return f"{type(exc).__name__}: {exc}"
+
+
+def shrink(
+    item: CorpusGraph,
+    still_fails: Callable[[CorpusGraph], bool],
+    *,
+    max_evals: int = 600,
+) -> CorpusGraph:
+    """Greedy minimization: drop vertices, then edges, while the failure
+    persists.  Deterministic, budget-bounded."""
+    best = item
+    evals = 0
+
+    def try_candidate(cand: CorpusGraph) -> bool:
+        nonlocal evals, best
+        evals += 1
+        if still_fails(cand):
+            best = cand
+            return True
+        return False
+
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for v in reversed(range(best.n)):
+            kept = []
+            for e in best.edges:
+                if e[0] == v or e[1] == v:
+                    continue
+                u2 = e[0] - 1 if e[0] > v else e[0]
+                v2 = e[1] - 1 if e[1] > v else e[1]
+                kept.append((u2, v2, *e[2:]))
+            cand = CorpusGraph(
+                best.name, best.n - 1, tuple(kept), directed=best.directed
+            )
+            if try_candidate(cand):
+                progress = True
+                break
+            if evals >= max_evals:
+                break
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for i in range(len(best.edges)):
+            cand = CorpusGraph(
+                best.name,
+                best.n,
+                best.edges[:i] + best.edges[i + 1 :],
+                directed=best.directed,
+            )
+            if try_candidate(cand):
+                progress = True
+                break
+            if evals >= max_evals:
+                break
+    return best
+
+
+def _write_artifact(failure: Failure, directory: Path) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    item = failure.minimal if failure.minimal is not None else CorpusGraph(
+        failure.graph_name, failure.n_vertices, failure.edges
+    )
+    path = directory / (
+        f"{failure.check}-{failure.backend}-{failure.representation}-"
+        f"{failure.graph_name}.edgelist"
+    )
+    lines = [
+        f"# differential failure: {failure.check} "
+        f"backend={failure.backend} representation={failure.representation}",
+        f"# source graph: {failure.graph_name}",
+        f"# detail: {failure.detail}",
+        f"# n_vertices: {item.n}",
+        "# replay: read_edge_list(path, n_vertices=<n_vertices>) and rerun the check",
+    ]
+    for e in item.edges:
+        lines.append(" ".join(str(x) for x in e))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def run_differential(
+    seed: int = 0,
+    *,
+    n_graphs: int = 56,
+    budget: Optional[float] = None,
+    backends: Sequence[str] = BACKENDS,
+    representations: Sequence[str] = REPRESENTATIONS,
+    checks: Optional[Sequence[str]] = None,
+    n_workers: int = 2,
+    fault: Optional[str] = None,
+    artifact_dir: Optional[Path] = DEFAULT_ARTIFACT_DIR,
+    shrink_failures: bool = True,
+    max_failures: int = 10,
+) -> Report:
+    """Run the differential corpus.  See module docstring.
+
+    ``budget`` is a soft wall-clock limit in seconds: the corpus loop
+    stops starting new graphs once it is exceeded (every started graph
+    finishes, so results are well-formed).  ``fault`` names an entry of
+    :data:`FAULTS` to corrupt on purpose.  At most ``max_failures``
+    failures are collected (then the run short-circuits); each failure
+    is shrunk and dumped under ``artifact_dir`` unless disabled.
+    """
+    t0 = time.perf_counter()
+    fault_check, fault_fn = FAULTS[fault] if fault is not None else (None, None)
+    active = [
+        c for c in CHECKS if checks is None or c.name in checks
+    ]
+    if checks is not None:
+        unknown = set(checks) - {c.name for c in CHECKS}
+        if unknown:
+            raise ValueError(f"unknown check(s): {sorted(unknown)}")
+    report = Report(
+        seed=seed,
+        backends=tuple(backends),
+        representations=tuple(representations),
+    )
+    ctxs = {b: ParallelContext(n_workers, backend=b) for b in backends}
+    try:
+        for item in corpus(seed, n_graphs):
+            if budget is not None and time.perf_counter() - t0 > budget:
+                break
+            if len(report.failures) >= max_failures:
+                break
+            report.n_graphs += 1
+            # Bound cost-model memory across thousands of runs while
+            # keeping the backend pools warm (ctx.reset would close them).
+            for ctx in ctxs.values():
+                ctx.cost.reset()
+            reps = [
+                r for r in representations if r == "csr" or not item.directed
+            ]
+            for representation in reps:
+                for check in active:
+                    if not _applicable(check, item):
+                        continue
+                    for backend in backends:
+                        this_fault = (
+                            fault_fn if check.name == fault_check else None
+                        )
+                        detail = _evaluate(
+                            check, item, representation,
+                            ctxs[backend], seed, this_fault,
+                        )
+                        report.n_runs += 1
+                        if detail is None:
+                            continue
+                        failure = Failure(
+                            check=check.name,
+                            backend=backend,
+                            representation=representation,
+                            graph_name=item.name,
+                            detail=detail,
+                            n_vertices=item.n,
+                            edges=item.edges,
+                        )
+                        if shrink_failures:
+                            ctx = ctxs[backend]
+                            failure.minimal = shrink(
+                                item,
+                                lambda cand: _evaluate(
+                                    check, cand, representation,
+                                    ctx, seed, this_fault,
+                                ) is not None,
+                            )
+                        if artifact_dir is not None:
+                            failure.artifact = _write_artifact(
+                                failure, Path(artifact_dir)
+                            )
+                        report.failures.append(failure)
+                        if len(report.failures) >= max_failures:
+                            break
+                    if len(report.failures) >= max_failures:
+                        break
+                if len(report.failures) >= max_failures:
+                    break
+    finally:
+        for ctx in ctxs.values():
+            ctx.close()
+    report.elapsed_seconds = time.perf_counter() - t0
+    return report

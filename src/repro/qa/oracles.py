@@ -1,0 +1,273 @@
+"""Obviously-correct pure-Python reference implementations.
+
+Every optimized kernel in this package has a vectorized NumPy hot path
+whose correctness is not self-evident (scatter-min hooks, lexicographic
+tie-break ranks, batched lane planes).  The oracles here are the other
+half of the differential-testing contract: textbook implementations on
+plain dicts, lists and heaps, written for readability rather than
+speed, and deliberately independent of :mod:`repro.graph` — they take a
+raw ``(n_vertices, edge list)`` pair and do their *own* canonicalization
+(self-loop dropping, duplicate-edge collapsing), so a bug in the CSR
+builder cannot hide by corrupting both sides equally.
+
+Conventions match the optimized entrypoints they check:
+
+* distances use ``-1`` (hops) / ``inf`` (weighted) for unreachable;
+* component labels are the minimum vertex id of the component;
+* betweenness counts each unordered pair once on undirected graphs
+  (the networkx unnormalized convention);
+* closeness is Wasserman–Faust improved, 0.0 for isolated vertices.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Iterable, Sequence
+
+__all__ = [
+    "RefGraph",
+    "bfs_levels",
+    "dijkstra_distances",
+    "brandes_betweenness",
+    "connected_components",
+    "msf_weight",
+    "modularity",
+    "edge_cut",
+    "closeness",
+]
+
+
+class RefGraph:
+    """Minimal adjacency-dict graph used by every oracle.
+
+    ``edges`` is any iterable of ``(u, v)`` or ``(u, v, w)`` tuples.
+    Canonicalization mirrors the documented builder semantics: self
+    loops are dropped, duplicate (unordered, for undirected) edges keep
+    their first occurrence's weight.
+    """
+
+    def __init__(self, n_vertices: int, edges: Iterable, *, directed: bool = False):
+        self.n = int(n_vertices)
+        self.directed = bool(directed)
+        # adjacency: vertex -> {neighbor: weight}
+        self.adj: list[dict[int, float]] = [dict() for _ in range(self.n)]
+        self.edges: list[tuple[int, int, float]] = []
+        seen: set[tuple[int, int]] = set()
+        for e in edges:
+            u, v = int(e[0]), int(e[1])
+            w = float(e[2]) if len(e) > 2 else 1.0
+            if u == v:
+                continue
+            key = (u, v) if directed else (min(u, v), max(u, v))
+            if key in seen:
+                continue
+            seen.add(key)
+            self.edges.append((key[0], key[1], w) if not directed else (u, v, w))
+            self.adj[u][v] = w
+            if not directed:
+                self.adj[v][u] = w
+
+    @property
+    def m(self) -> int:
+        return len(self.edges)
+
+    def neighbors(self, v: int) -> list[int]:
+        return sorted(self.adj[v])
+
+
+def bfs_levels(ref: RefGraph, source: int) -> list[int]:
+    """Hop distance from ``source`` per vertex; -1 when unreachable."""
+    dist = [-1] * ref.n
+    dist[source] = 0
+    q = deque([source])
+    while q:
+        u = q.popleft()
+        for v in ref.neighbors(u):
+            if dist[v] < 0:
+                dist[v] = dist[u] + 1
+                q.append(v)
+    return dist
+
+
+def dijkstra_distances(ref: RefGraph, source: int) -> list[float]:
+    """Weighted shortest-path distance per vertex; inf when unreachable."""
+    inf = float("inf")
+    dist = [inf] * ref.n
+    dist[source] = 0.0
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in ref.adj[u].items():
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def brandes_betweenness(ref: RefGraph, *, weighted: bool = False) -> list[float]:
+    """Exact unnormalized vertex betweenness (textbook Brandes).
+
+    Undirected graphs count each unordered pair once (accumulated both
+    directions, halved at the end).  ``weighted=True`` orders the
+    forward sweep by Dijkstra settlement instead of BFS levels.
+    """
+    bc = [0.0] * ref.n
+    for s in range(ref.n):
+        stack: list[int] = []
+        preds: list[list[int]] = [[] for _ in range(ref.n)]
+        sigma = [0.0] * ref.n
+        sigma[s] = 1.0
+        if weighted:
+            inf = float("inf")
+            dist = [inf] * ref.n
+            dist[s] = 0.0
+            seen = [False] * ref.n
+            heap = [(0.0, s)]
+            while heap:
+                d, u = heapq.heappop(heap)
+                if seen[u]:
+                    continue
+                seen[u] = True
+                stack.append(u)
+                for v, w in ref.adj[u].items():
+                    nd = d + w
+                    if nd < dist[v] - 1e-12:
+                        dist[v] = nd
+                        sigma[v] = sigma[u]
+                        preds[v] = [u]
+                        heapq.heappush(heap, (nd, v))
+                    elif abs(nd - dist[v]) <= 1e-12 and not seen[v]:
+                        sigma[v] += sigma[u]
+                        preds[v].append(u)
+        else:
+            dist = [-1] * ref.n
+            dist[s] = 0
+            q = deque([s])
+            while q:
+                u = q.popleft()
+                stack.append(u)
+                for v in ref.neighbors(u):
+                    if dist[v] < 0:
+                        dist[v] = dist[u] + 1
+                        q.append(v)
+                    if dist[v] == dist[u] + 1:
+                        sigma[v] += sigma[u]
+                        preds[v].append(u)
+        delta = [0.0] * ref.n
+        while stack:
+            v = stack.pop()
+            for u in preds[v]:
+                delta[u] += sigma[u] / sigma[v] * (1.0 + delta[v])
+            if v != s:
+                bc[v] += delta[v]
+    if not ref.directed:
+        bc = [x / 2.0 for x in bc]
+    return bc
+
+
+def connected_components(ref: RefGraph) -> list[int]:
+    """Component label per vertex; the label is the min vertex id.
+
+    Directed graphs yield *weakly* connected components (arcs walked
+    both ways), matching the optimized kernel.
+    """
+    sym: list[set[int]] = [set(d) for d in ref.adj]
+    if ref.directed:
+        for u, v, _ in ref.edges:
+            sym[v].add(u)
+    label = [-1] * ref.n
+    for s in range(ref.n):
+        if label[s] >= 0:
+            continue
+        label[s] = s
+        q = deque([s])
+        while q:
+            u = q.popleft()
+            for v in sym[u]:
+                if label[v] < 0:
+                    label[v] = s
+                    q.append(v)
+    return label
+
+
+def msf_weight(ref: RefGraph) -> float:
+    """Total weight of a minimum spanning forest (textbook Kruskal).
+
+    MSF weight is unique even with tied weights, which makes it a
+    robust oracle: any correct MSF algorithm must match it exactly.
+    """
+    parent = list(range(ref.n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    total = 0.0
+    for w, _, u, v in sorted(
+        (w, i, u, v) for i, (u, v, w) in enumerate(ref.edges)
+    ):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            total += w
+    return total
+
+
+def modularity(ref: RefGraph, labels: Sequence[int]) -> float:
+    """Newman modularity of a vertex partition, by the double sum.
+
+    ``q = Σ_c [ w_in(c)/W − (s(c)/2W)² ]`` with ``W`` total edge weight,
+    ``w_in`` intra-cluster weight and ``s`` cluster strength.
+    """
+    if ref.m == 0:
+        return 0.0
+    total_w = sum(w for _, _, w in ref.edges)
+    intra: dict[int, float] = {}
+    strength: dict[int, float] = {}
+    for u, v, w in ref.edges:
+        cu, cv = labels[u], labels[v]
+        if cu == cv:
+            intra[cu] = intra.get(cu, 0.0) + w
+        strength[cu] = strength.get(cu, 0.0) + w
+        strength[cv] = strength.get(cv, 0.0) + w
+    q = sum(intra.values()) / total_w
+    q -= sum((s / (2.0 * total_w)) ** 2 for s in strength.values())
+    return q
+
+
+def edge_cut(ref: RefGraph, labels: Sequence[int]) -> float:
+    """Total weight of edges whose endpoints have different labels."""
+    return sum(w for u, v, w in ref.edges if labels[u] != labels[v])
+
+
+def closeness(ref: RefGraph) -> list[float]:
+    """Wasserman–Faust improved closeness per vertex.
+
+    ``cc(v) = (r−1)/Σd · (r−1)/(n−1)`` with ``r`` the number of
+    vertices reachable from ``v`` (including ``v``); 0.0 when nothing
+    else is reachable.  Weighted graphs use Dijkstra distances.
+    """
+    weighted = any(w != 1.0 for _, _, w in ref.edges)
+    out = [0.0] * ref.n
+    for v in range(ref.n):
+        if weighted:
+            dist = dijkstra_distances(ref, v)
+            reach = [d for d in dist if d != float("inf")]
+        else:
+            dist = [float(d) for d in bfs_levels(ref, v)]
+            reach = [d for d in dist if d >= 0]
+        r = len(reach)
+        total = sum(reach)
+        if r <= 1 or total <= 0:
+            continue
+        cc = (r - 1) / total
+        if ref.n > 1:
+            cc *= (r - 1) / (ref.n - 1)
+        out[v] = cc
+    return out

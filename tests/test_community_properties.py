@@ -48,6 +48,23 @@ def test_modularity_single_cluster_zero(edges):
 
 @given(edge_lists, label_arrays)
 @settings(max_examples=60, deadline=None)
+def test_modularity_matches_oracle_multi_component(edges, labels):
+    # Audit regression: the vectorized modularity must agree with the
+    # textbook double-sum on arbitrary (notably multi-component) graphs
+    # and arbitrary labelings, including per-component labelings.
+    from repro.qa.oracles import RefGraph
+    from repro.qa.oracles import modularity as ref_modularity
+
+    g = _graph_from_edges(edges)
+    ref = RefGraph(16, edges)
+    labels = np.asarray(labels)
+    assert modularity(g, labels) == pytest.approx(
+        ref_modularity(ref, labels.tolist()), abs=1e-9
+    )
+
+
+@given(edge_lists, label_arrays)
+@settings(max_examples=60, deadline=None)
 def test_modularity_label_renaming_invariance(edges, labels):
     g = _graph_from_edges(edges)
     labels = np.asarray(labels)

@@ -6,6 +6,7 @@ import io
 
 import numpy as np
 import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
 
 from repro.errors import GraphFormatError, GraphStructureError
 from repro.graph import from_edge_list
@@ -88,6 +89,18 @@ class TestMetisFormat:
         g = read_metis(p)
         assert _same_graph(two_triangles_bridge, g)
 
+    def test_isolated_vertices_roundtrip(self):
+        # Regression: blank body lines are the adjacency of isolated
+        # vertices; the reader used to discard them and then reject the
+        # file for having too few vertex lines.
+        g = from_edge_list([(1, 2)], n_vertices=5)  # 0, 3, 4 isolated
+        buf = io.StringIO()
+        write_metis(g, buf)
+        buf.seek(0)
+        back = read_metis(buf)
+        assert back.n_vertices == 5
+        assert _same_graph(g, back)
+
     def test_header_mismatch_detected(self):
         with pytest.raises(GraphFormatError):
             read_metis(io.StringIO("2 5\n2\n1\n"))  # claims 5 edges, has 1
@@ -150,6 +163,71 @@ class TestNpzFormat:
         g = load_npz(p)
         assert g.directed
         assert _same_graph(g0, g)
+
+
+class TestRoundTripProperties:
+    """Hypothesis: write→read is the identity for every text format."""
+
+    weighted_edges = st.lists(
+        st.tuples(
+            st.integers(0, 11),
+            st.integers(0, 11),
+            st.floats(
+                min_value=1e-3,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+
+    @staticmethod
+    def _build(edges, directed=False):
+        kept = [(u, v, w) for u, v, w in edges if u != v]
+        if not kept:
+            kept = [(0, 1, 0.125)]
+        return from_edge_list(kept, n_vertices=12, directed=directed)
+
+    @given(weighted_edges)
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_edge_list_roundtrip_exact(self, edges):
+        g = self._build(edges)
+        buf = io.StringIO()
+        write_edge_list(g, buf)
+        buf.seek(0)
+        assert _same_graph(g, read_edge_list(buf, n_vertices=12))
+
+    @given(weighted_edges)
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_metis_roundtrip_exact(self, edges):
+        g = self._build(edges)
+        buf = io.StringIO()
+        write_metis(g, buf)
+        buf.seek(0)
+        assert _same_graph(g, read_metis(buf))
+
+    @given(weighted_edges)
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_dimacs_roundtrip_exact_directed(self, edges):
+        g = self._build(edges, directed=True)
+        buf = io.StringIO()
+        write_dimacs(g, buf)
+        buf.seek(0)
+        assert _same_graph(g, read_dimacs(buf, directed=True))
+
+    def test_weight_precision_survives_roundtrip(self):
+        # Regression: ':g' formatting used to truncate weights to 6
+        # significant digits, so 1/3 came back as 0.333333.
+        w = 1.0 / 3.0
+        g = from_edge_list([(0, 1, w), (1, 2, 1e-12 + 1.0)])
+        buf = io.StringIO()
+        write_edge_list(g, buf)
+        buf.seek(0)
+        back = read_edge_list(buf)
+        assert back.edge_weight(0, 1) == w
+        assert back.edge_weight(1, 2) == 1e-12 + 1.0
 
 
 class TestAttributeTable:

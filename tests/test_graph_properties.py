@@ -12,6 +12,7 @@ from repro.graph import (
     from_edge_array,
     compress_vertices,
 )
+from repro.qa.invariants import validate
 
 
 edge_lists = st.lists(
@@ -223,3 +224,67 @@ def test_dynamic_to_csr_roundtrip(operations):
     assert g.n_edges == dyn.n_edges
     for u in range(12):
         assert g.neighbors(u).tolist() == sorted(dyn.neighbors(u).tolist())
+
+
+@given(ops)
+@settings(max_examples=40, deadline=None)
+def test_dynamic_delete_then_reinsert_roundtrips(operations):
+    """Deleting every edge and reinserting it restores the same CSR."""
+    dyn = DynamicGraph(12)
+    for op, u, v in operations:
+        if u == v:
+            continue
+        (dyn.add_edge if op == "add" else dyn.delete_edge)(u, v)
+    before = dyn.to_csr()
+    edges = list(zip(*[a.tolist() for a in before.edge_endpoints()]))
+    for u, v in edges:
+        assert dyn.delete_edge(u, v)
+    assert dyn.n_edges == 0
+    for u, v in reversed(edges):
+        assert dyn.add_edge(u, v)
+    after = dyn.to_csr()
+    assert np.array_equal(before.offsets, after.offsets)
+    assert np.array_equal(before.targets, after.targets)
+    assert validate(dyn) == []
+
+
+@given(key_sets, st.integers(2, 6))
+@settings(max_examples=40, deadline=None)
+def test_hybrid_threshold_crossing_under_churn(keys, threshold):
+    """One vertex's degree repeatedly crosses the promote/demote
+    threshold; representation state and structure must stay consistent."""
+    hyb = HybridAdjacency(202, degree_threshold=threshold)
+    ref: set[int] = set()
+    for k in keys:
+        hyb.add_edge(201, k)
+        ref.add(k)
+        assert hyb.is_promoted(201) == (len(ref) > threshold)
+    assert validate(hyb) == []
+    # Drain back below the hysteresis point, then refill.
+    for k in sorted(ref):
+        hyb.delete_edge(201, k)
+    assert hyb.degree(201) == 0
+    assert not hyb.is_promoted(201)
+    for k in sorted(ref):
+        hyb.add_edge(201, k)
+    assert hyb.is_promoted(201) == (len(ref) > threshold)
+    assert sorted(hyb.neighbors(201).tolist()) == sorted(ref)
+    assert validate(hyb) == []
+
+
+@given(key_sets, key_sets, st.integers(0, 200))
+@settings(max_examples=40, deadline=None)
+def test_treap_union_of_split_halves(a_keys, b_keys, pivot):
+    """union(split(a) parts, b) behaves exactly like set union — the
+    structural operations must not lose or duplicate keys."""
+    a, b = Treap(seed=7), Treap(seed=8)
+    for k in a_keys:
+        a.insert(k)
+    for k in b_keys:
+        b.insert(k)
+    lo, hi = a.split(pivot)
+    u = lo.union(b).union(hi)
+    u.check_invariants()
+    assert list(u) == sorted(set(a_keys) | set(b_keys))
+    assert u.keys_array().tolist() == list(u)
+    assert validate(u) == []

@@ -87,6 +87,37 @@ class TestMST:
         with pytest.raises(GraphStructureError):
             boruvka_msf(g)
 
+    def test_tie_heavy_multi_component_same_edge_set(self):
+        # Audit regression: both methods break weight ties by edge id
+        # (lexicographic (w, id) rank), so on tie-heavy multi-component
+        # graphs they must pick the *same edges*, not merely the same
+        # total weight.
+        from repro.qa.oracles import RefGraph, msf_weight
+
+        rng = np.random.default_rng(17)
+        for trial in range(5):
+            n = 14
+            m = 24
+            u = rng.integers(0, n // 2, size=m)          # component A
+            v = rng.integers(0, n // 2, size=m)
+            u2 = rng.integers(n // 2, n, size=m)         # component B
+            v2 = rng.integers(n // 2, n, size=m)
+            src = np.concatenate([u, u2])
+            dst = np.concatenate([v, v2])
+            keep = src != dst
+            w = rng.choice([1.0, 1.0, 2.0, 3.0], size=keep.sum())
+            from repro.graph import from_edge_array
+
+            g = from_edge_array(n, src[keep], dst[keep], weights=w,
+                                directed=False)
+            ids_b = np.sort(boruvka_msf(g))
+            ids_k = np.sort(kruskal_msf(g))
+            assert np.array_equal(ids_b, ids_k), f"trial {trial}"
+            eu, ev = g.edge_endpoints()
+            ref = RefGraph(n, list(zip(eu.tolist(), ev.tolist(),
+                                       g.edge_weights().tolist())))
+            assert forest_weight(g, ids_b) == pytest.approx(msf_weight(ref))
+
     def test_dispatch(self):
         g = random_weighted(20, 40, seed=2)
         assert np.array_equal(

@@ -24,6 +24,7 @@ from repro.community.modularity import modularity
 from repro.community.result import ClusteringResult
 from repro.errors import ClusteringError, GraphStructureError
 from repro.graph.csr import Graph
+from repro.kernels.segments import group_offsets, segment_sums
 from repro.obs.api import algorithm
 from repro.parallel.runtime import ParallelContext, ensure_context
 
@@ -52,28 +53,44 @@ def cnm(
         labels = np.arange(n, dtype=np.int64)
         return ClusteringResult(labels, 0.0, "CNM")
 
-    u_arr, v_arr = graph.edge_endpoints()
-    w_arr = graph.edge_weights()
+    # One grouped pass over the (already (src, tgt)-sorted) arc arrays
+    # builds every community row and the initial heap: arcs collapse to
+    # per-(src, tgt) weight sums (a self-loop's two arcs sum to the 2w
+    # the per-edge loop accumulated), rows are dict(zip) slices, and
+    # the a < b gains vectorize — the same IEEE expression as ``dq``,
+    # in the same (a, b)-sorted order the scalar build produced.
+    src = graph.arc_sources()
+    tgt = graph.targets
+    w_all = (
+        np.ones(graph.n_arcs, dtype=np.float64)
+        if graph.weights is None
+        else graph.weights
+    )
+    strength = np.bincount(src, weights=w_all, minlength=n)
+    offs = group_offsets(src, tgt)
+    firsts = offs[:-1]
+    gsrc, gtgt = src[firsts], tgt[firsts]
+    gw = segment_sums(w_all, offs)
 
-    # rows[a][b] = w_ab between current communities a and b
     rows: list[dict[int, float]] = [dict() for _ in range(n)]
-    strength = np.zeros(n, dtype=np.float64)
-    for i in range(graph.n_edges):
-        a, b, w = int(u_arr[i]), int(v_arr[i]), float(w_arr[i])
-        rows[a][b] = rows[a].get(b, 0.0) + w
-        rows[b][a] = rows[b].get(a, 0.0) + w
-        strength[a] += w
-        strength[b] += w
+    voffs = group_offsets(gsrc)
+    for i in range(voffs.shape[0] - 1):
+        lo, hi = int(voffs[i]), int(voffs[i + 1])
+        rows[int(gsrc[lo])] = dict(
+            zip(gtgt[lo:hi].tolist(), gw[lo:hi].tolist())
+        )
     alive = np.ones(n, dtype=bool)
 
     def dq(a: int, b: int) -> float:
         return rows[a][b] / W - strength[a] * strength[b] / (2.0 * W * W)
 
-    heap: list[tuple[float, int, int]] = []
-    for a in range(n):
-        for b in rows[a]:
-            if a < b:
-                heap.append((-dq(a, b), a, b))
+    pair = gsrc < gtgt
+    gains = gw[pair] / W - strength[gsrc[pair]] * strength[gtgt[pair]] / (
+        2.0 * W * W
+    )
+    heap: list[tuple[float, int, int]] = list(
+        zip((-gains).tolist(), gsrc[pair].tolist(), gtgt[pair].tolist())
+    )
     heapq.heapify(heap)
     ctx.serial(float(2 * graph.n_edges))
 

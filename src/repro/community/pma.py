@@ -107,18 +107,21 @@ def pma(
         labels = np.arange(n, dtype=np.int64)
         return ClusteringResult(labels, 0.0, "pMA")
 
-    u_arr, v_arr = graph.edge_endpoints()
-    w_arr = graph.edge_weights()
-    strength = np.zeros(n, dtype=np.float64)
-    np.add.at(strength, u_arr, w_arr)
-    np.add.at(strength, v_arr, w_arr)
+    arc_src = graph.arc_sources()
+    w_all = (
+        np.ones(graph.n_arcs, dtype=np.float64)
+        if graph.weights is None
+        else graph.weights
+    )
+    strength = np.bincount(arc_src, weights=w_all, minlength=n)
 
-    # Build per-community sorted rows straight off the CSR arrays.
+    # Build per-community sorted rows straight off the CSR arrays, and
+    # every initial ΔQ in one vectorized arc pass (sliced per row) —
+    # elementwise the same IEEE expression the per-row build evaluated.
+    gains_all = w_all / W - strength[arc_src] * strength[graph.targets] / (
+        2.0 * W * W
+    )
     rows: list[_Row] = []
-    for v in range(n):
-        rows.append(
-            _Row(graph.neighbors(v).copy(), graph.neighbor_weights(v).copy())
-        )
     alive = np.ones(n, dtype=bool)
 
     def dq(a: int, b: int, w_ab: float) -> float:
@@ -131,12 +134,11 @@ def pma(
     row_max: list[Optional[tuple[int, float]]] = [None] * n
     heap: list[tuple[float, int, int]] = []
     for a in range(n):
+        lo_a, hi_a = graph.arc_range(a)
+        keys = graph.targets[lo_a:hi_a].copy()
+        rows.append(_Row(keys, w_all[lo_a:hi_a].copy()))
         bk = MultiLevelBucket()
-        gains = (
-            rows[a].weights / W
-            - strength[a] * strength[rows[a].keys] / (2.0 * W * W)
-        )
-        bk.bulk_build(rows[a].keys, gains)
+        bk.bulk_build(keys, gains_all[lo_a:hi_a])
         buckets.append(bk)
         top = bk.max()
         if top is not None:

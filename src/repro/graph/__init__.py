@@ -16,6 +16,7 @@ from repro.graph.builder import (
     to_networkx,
     induced_subgraph,
     compress_vertices,
+    contract,
 )
 from repro.graph.dynamic import DynamicGraph
 from repro.graph.treap import Treap
@@ -33,4 +34,5 @@ __all__ = [
     "to_networkx",
     "induced_subgraph",
     "compress_vertices",
+    "contract",
 ]

@@ -42,6 +42,16 @@ from repro.kernels.sssp import (
     shortest_path_distances,
 )
 from repro.kernels.spanning import spanning_forest
+from repro.kernels.segments import (
+    segment_sums,
+    segment_maxes,
+    segment_argmax,
+    group_offsets,
+    grouped_label_weights,
+    boundary_vertices,
+    intersect_sorted_segments,
+    compact_adjacency,
+)
 
 __all__ = [
     "BFSResult",
@@ -68,4 +78,12 @@ __all__ = [
     "dijkstra",
     "shortest_path_distances",
     "spanning_forest",
+    "segment_sums",
+    "segment_maxes",
+    "segment_argmax",
+    "group_offsets",
+    "grouped_label_weights",
+    "boundary_vertices",
+    "intersect_sorted_segments",
+    "compact_adjacency",
 ]

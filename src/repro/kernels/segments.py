@@ -1,0 +1,237 @@
+"""Edge-centric segment primitives over CSR arrays (paper §3).
+
+SNAP's speed comes from running every kernel on cache-friendly
+contiguous arrays with fine-grained data-parallel primitives.  This
+module is the shared vocabulary for the community/refinement layer:
+instead of per-vertex Python loops, the hot paths express themselves as
+
+* **segmented reductions** — per-segment sum / max / argmax over a flat
+  value array split at offsets (``np.add.reduceat`` with exact
+  empty-segment handling);
+* **lexsort grouping** — collapse an (key₁, key₂, value) arc stream
+  into per-group sums in one sort pass (the label-weight accumulation
+  at the heart of synchronized local moving and coarsening);
+* **vectorized sorted-adjacency intersection** — a merge-path /
+  batched-binary-search intersection of many adjacency-segment pairs at
+  once (triangle counting without a Python loop over edges);
+* **boundary-vertex detection** — the cross-label frontier used by the
+  k-way refinement sweeps.
+
+All functions are pure and deterministic: identical inputs produce
+bit-identical outputs on every execution backend, which is what lets
+the rewritten community kernels keep backend parity and differential
+equivalence (DESIGN §7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "segment_sums",
+    "segment_maxes",
+    "segment_argmax",
+    "group_offsets",
+    "grouped_label_weights",
+    "boundary_vertices",
+    "intersect_sorted_segments",
+    "compact_adjacency",
+]
+
+
+def segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment sums: ``out[i] = values[offsets[i]:offsets[i+1]].sum()``.
+
+    Empty segments sum to 0.  Unlike a raw ``np.add.reduceat`` (which
+    mishandles empty segments), this restricts the reduction to
+    non-empty starts — between one non-empty segment's end and the next
+    non-empty start there are no elements, so the reduceat groups are
+    exactly the requested segments.
+    """
+    values = np.asarray(values)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    n_seg = offsets.shape[0] - 1
+    out = np.zeros(n_seg, dtype=values.dtype if values.dtype.kind == "f" else np.int64)
+    if n_seg == 0 or values.shape[0] == 0:
+        return out
+    nonempty = offsets[1:] > offsets[:-1]
+    if nonempty.any():
+        out[nonempty] = np.add.reduceat(values, offsets[:-1][nonempty])
+    return out
+
+
+def segment_maxes(
+    values: np.ndarray, offsets: np.ndarray, *, fill: float = -np.inf
+) -> np.ndarray:
+    """Per-segment maxima; empty segments report ``fill``."""
+    values = np.asarray(values)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    n_seg = offsets.shape[0] - 1
+    out = np.full(n_seg, fill, dtype=np.float64)
+    if n_seg == 0 or values.shape[0] == 0:
+        return out
+    nonempty = offsets[1:] > offsets[:-1]
+    if nonempty.any():
+        out[nonempty] = np.maximum.reduceat(values, offsets[:-1][nonempty])
+    return out
+
+
+def segment_argmax(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment argmax as *global* indices into ``values``.
+
+    Ties break toward the smallest index (NumPy's ``argmax`` rule);
+    empty segments report ``-1``.
+    """
+    values = np.asarray(values)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    n_seg = offsets.shape[0] - 1
+    out = np.full(n_seg, -1, dtype=np.int64)
+    if n_seg == 0 or values.shape[0] == 0:
+        return out
+    maxes = segment_maxes(values, offsets)
+    lengths = np.diff(offsets)
+    seg_of = np.repeat(np.arange(n_seg, dtype=np.int64), lengths)
+    n = values.shape[0]
+    idx = np.where(values == maxes[seg_of], np.arange(n, dtype=np.int64), n)
+    nonempty = lengths > 0
+    if nonempty.any():
+        out[nonempty] = np.minimum.reduceat(idx, offsets[:-1][nonempty])
+    return out
+
+
+def group_offsets(*keys: np.ndarray) -> np.ndarray:
+    """Run boundaries of equal composite keys in pre-sorted arrays.
+
+    ``keys`` are parallel arrays already sorted so that equal composite
+    keys are contiguous (e.g. the output order of ``np.lexsort``).
+    Returns the offsets array (length ``n_groups + 1``) delimiting each
+    run; slicing any parallel array with consecutive offsets yields one
+    group.
+    """
+    n = keys[0].shape[0]
+    if n == 0:
+        return np.zeros(1, dtype=np.int64)
+    change = np.zeros(n, dtype=bool)
+    change[0] = True
+    for k in keys:
+        change[1:] |= k[1:] != k[:-1]
+    starts = np.nonzero(change)[0]
+    return np.append(starts, n).astype(np.int64)
+
+
+def grouped_label_weights(
+    src: np.ndarray, labels: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Accumulate ``weights`` over equal ``(src, label)`` pairs.
+
+    The arc stream need not be sorted.  Returns ``(gsrc, glab, gsum)``
+    sorted by ``(src, label)`` — one row per distinct pair.  This is the
+    label-weight accumulation underneath synchronized local moving: for
+    every vertex, its total edge weight into each adjacent cluster, in
+    one lexsort pass instead of a per-vertex dict.
+    """
+    order = np.lexsort((labels, src))
+    s, l, w = src[order], labels[order], weights[order]
+    offs = group_offsets(s, l)
+    firsts = offs[:-1]
+    return s[firsts], l[firsts], segment_sums(w, offs)
+
+
+def boundary_vertices(
+    src: np.ndarray,
+    targets: np.ndarray,
+    labels: np.ndarray,
+    n_vertices: int,
+) -> np.ndarray:
+    """Boolean mask of vertices with at least one cross-label arc."""
+    mask = np.zeros(n_vertices, dtype=bool)
+    if src.shape[0]:
+        cross = labels[src] != labels[targets]
+        mask[src[cross]] = True
+    return mask
+
+
+def intersect_sorted_segments(
+    offsets: np.ndarray,
+    targets: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Intersect many sorted adjacency-segment pairs at once.
+
+    For each pair ``i``, intersects the sorted segments
+    ``targets[offsets[left[i]]:offsets[left[i]+1]]`` and
+    ``targets[offsets[right[i]]:offsets[right[i]+1]]``.  The smaller
+    segment of each pair is probed into the larger through a *single*
+    ``np.searchsorted`` over the composite keys
+    ``segment_id · stride + target`` — CSR segments are individually
+    sorted, so the composite array is globally sorted and every probe
+    of every pair is one C-level binary search, ``O(Σ min(dᵤ, dᵥ) ·
+    log Σd)`` with no per-pair Python dispatch.
+
+    Returns ``(counts, common, pair_ids)``: per-pair intersection
+    sizes, the concatenated common elements, and for each common
+    element the pair index it came from.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    left = np.asarray(left, dtype=np.int64)
+    right = np.asarray(right, dtype=np.int64)
+    n_pairs = left.shape[0]
+    n_seg = offsets.shape[0] - 1
+    empty = np.empty(0, dtype=np.int64)
+    if n_pairs == 0:
+        return np.zeros(0, dtype=np.int64), empty, empty
+
+    deg = np.diff(offsets)
+    # Orient each pair: probe the smaller segment into the larger.
+    swap = deg[left] > deg[right]
+    small = np.where(swap, right, left)
+    big = np.where(swap, left, right)
+
+    q_counts = deg[small]
+    total = int(q_counts.sum())
+    if total == 0:
+        return np.zeros(n_pairs, dtype=np.int64), empty, empty
+    pair_of_q = np.repeat(np.arange(n_pairs, dtype=np.int64), q_counts)
+    ends = np.cumsum(q_counts)
+    q_rank = np.arange(total, dtype=np.int64) - np.repeat(ends - q_counts, q_counts)
+    queries = targets[offsets[small][pair_of_q] + q_rank]
+
+    # (segment, value) composite keys are globally sorted because each
+    # CSR segment is; one vectorized lower-bound search answers every
+    # membership probe.
+    stride = np.int64(max(int(targets.max(initial=0)) + 1, n_seg, 1))
+    seg_of_arc = np.repeat(np.arange(n_seg, dtype=np.int64), deg)
+    keys = seg_of_arc * stride + targets
+    probe = big[pair_of_q] * stride + queries
+    pos = np.searchsorted(keys, probe)
+    found = np.zeros(total, dtype=bool)
+    inb = pos < keys.shape[0]
+    found[inb] = keys[pos[inb]] == probe[inb]
+    counts = np.bincount(pair_of_q[found], minlength=n_pairs).astype(np.int64)
+    return counts, queries[found], pair_of_q[found]
+
+
+def compact_adjacency(
+    offsets: np.ndarray,
+    targets: np.ndarray,
+    arc_keep: np.ndarray,
+    n_vertices: int,
+    weights: Optional[np.ndarray] = None,
+) -> tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Filter a CSR adjacency by a per-arc mask, keeping segment order.
+
+    Returns new ``(offsets, targets, weights)`` arrays containing only
+    the kept arcs; within-segment sortedness is preserved because the
+    mask filter is order-stable.
+    """
+    src = np.repeat(np.arange(n_vertices, dtype=np.int64), np.diff(offsets))
+    new_deg = np.bincount(src[arc_keep], minlength=n_vertices)
+    new_offsets = np.zeros(n_vertices + 1, dtype=np.int64)
+    np.cumsum(new_deg, out=new_offsets[1:])
+    new_targets = targets[arc_keep]
+    new_weights = None if weights is None else weights[arc_keep]
+    return new_offsets, new_targets, new_weights

@@ -1,10 +1,16 @@
 """Clustering coefficients via vectorized triangle counting.
 
-Triangles are counted by sorted-adjacency intersection: for each arc
-``(u, v)`` with ``u < v``, ``|N(u) ∩ N(v)|`` is accumulated onto both
-endpoints.  The CSR invariant (adjacency slices sorted) makes each
-intersection an ``O(d_u + d_v)`` merge performed by
-``np.intersect1d`` — no hashing, cache-friendly, per the hpc guides.
+Triangles are counted by sorted-adjacency intersection: for each edge
+``(u, v)``, ``|N(u) ∩ N(v)|`` is accumulated onto both endpoints and
+every common neighbor.  The CSR invariant (adjacency slices sorted)
+lets *all* edges intersect at once through
+:func:`repro.kernels.segments.intersect_sorted_segments` — a batched
+branch-free binary search probing each edge's smaller endpoint
+adjacency into the larger, ``O(Σ min(dᵤ, dᵥ) · log maxdeg)`` flat NumPy
+work with no Python loop over edges (DESIGN §1.2c).  The per-edge
+``np.intersect1d`` loop survives as :func:`_triangle_counts_arcloop`,
+the reference implementation the microbenchmarks and equivalence tests
+compare against.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import numpy as np
 
 from repro.errors import GraphStructureError
 from repro.kernels._frontier import GraphLike, unwrap
+from repro.kernels.segments import compact_adjacency, intersect_sorted_segments
 from repro.parallel.runtime import ParallelContext, ensure_context
 
 
@@ -22,6 +29,46 @@ def triangle_counts(
     g: GraphLike, *, ctx: Optional[ParallelContext] = None
 ) -> np.ndarray:
     """Number of triangles through each vertex."""
+    graph, edge_active = unwrap(g)
+    if graph.directed:
+        raise GraphStructureError("triangle counting requires an undirected graph")
+    ctx = ensure_context(ctx)
+    n = graph.n_vertices
+    tri = np.zeros(n, dtype=np.int64)
+    if graph.n_edges == 0:
+        return tri
+
+    u_arr, v_arr = graph.edge_endpoints()
+    if edge_active is None:
+        offsets, targets = graph.offsets, graph.targets
+    else:
+        u_arr, v_arr = u_arr[edge_active], v_arr[edge_active]
+        arc_keep = edge_active[graph.arc_edge_ids]
+        offsets, targets, _ = compact_adjacency(
+            graph.offsets, graph.targets, arc_keep, n
+        )
+    degs = np.diff(offsets)
+    work = degs[u_arr] + degs[v_arr]
+    ctx.record_phase_from_work(work)
+    counts, common, pair_ids = intersect_sorted_segments(
+        offsets, targets, u_arr, v_arr
+    )
+    # Each triangle is seen once per edge (3 edges), contributing 1 to
+    # each of its 3 vertices each time → every vertex accumulates its
+    # triangle count 3 times.
+    tri += np.bincount(u_arr, weights=counts, minlength=n).astype(np.int64)
+    tri += np.bincount(v_arr, weights=counts, minlength=n).astype(np.int64)
+    tri += np.bincount(common, minlength=n).astype(np.int64)
+    return tri // 3
+
+
+def _triangle_counts_arcloop(
+    g: GraphLike, *, ctx: Optional[ParallelContext] = None
+) -> np.ndarray:
+    """Reference per-edge ``np.intersect1d`` loop (pre-§1.2c hot path).
+
+    Kept for the equivalence tests and the microbenchmark baseline.
+    """
     graph, edge_active = unwrap(g)
     if graph.directed:
         raise GraphStructureError("triangle counting requires an undirected graph")
@@ -52,9 +99,6 @@ def triangle_counts(
             tri[u] += c
             tri[v] += c
             np.add.at(tri, common, 1)
-    # Each triangle was counted once per edge (3 edges), adding 1 to
-    # each of its 3 vertices each time → every vertex got its triangle
-    # count 3 times.
     return tri // 3
 
 

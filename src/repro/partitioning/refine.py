@@ -9,6 +9,17 @@ The multilevel partitioners refine at every uncoarsening level:
 * :func:`kway_refine` — greedy boundary refinement for k parts, the
   kmetis-style "move to the best adjacent part if it helps and balance
   allows" sweep.
+
+Fast paths (DESIGN §1.2c): ``kway_refine`` keeps an incrementally
+maintained dirty set — a vertex is (re)evaluated only when its
+neighborhood changed or a balance block may have lifted — and computes
+the per-(vertex, part) connection weights for a whole pass in one
+``bincount`` over the candidate arcs.  A clean vertex provably cannot
+move (its gain is unchanged and was ≤ threshold), so the refined
+partition is *identical* to the exhaustive re-scan
+(:func:`_kway_refine_reference` keeps the original implementation as
+the regression oracle).  ``fm_refine_bisection`` applies the ±2w
+neighbor gain updates as one vectorized scatter per move.
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ import numpy as np
 
 from repro.errors import PartitioningError
 from repro.graph.csr import Graph
+from repro.kernels.segments import boundary_vertices
 
 
 def _vertex_part_weights(graph: Graph, v: int, parts: np.ndarray, k: int) -> np.ndarray:
@@ -29,6 +41,36 @@ def _vertex_part_weights(graph: Graph, v: int, parts: np.ndarray, k: int) -> np.
     wts = graph.neighbor_weights(v)
     np.add.at(out, parts[nbrs], wts)
     return out
+
+
+def _batched_part_weights(
+    graph: Graph, cand: np.ndarray, parts: np.ndarray, k: int
+) -> np.ndarray:
+    """Connection-weight rows for every candidate vertex in one pass.
+
+    ``rows[i, p]`` = weight of ``cand[i]``'s edges into part ``p``.
+    Accumulation order per vertex is the adjacency (arc) order, i.e.
+    bit-identical to the per-vertex ``np.add.at`` path.
+    """
+    b = cand.shape[0]
+    if b == 0:
+        return np.zeros((0, k), dtype=np.float64)
+    offs = graph.offsets
+    lengths = (offs[cand + 1] - offs[cand]).astype(np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros((b, k), dtype=np.float64)
+    row_of = np.repeat(np.arange(b, dtype=np.int64), lengths)
+    ends = np.cumsum(lengths)
+    rank = np.arange(total, dtype=np.int64) - np.repeat(ends - lengths, lengths)
+    arc_idx = offs[cand][row_of] + rank
+    w = (
+        np.ones(graph.n_arcs, dtype=np.float64)
+        if graph.weights is None
+        else graph.weights
+    )
+    keys = row_of * k + parts[graph.targets[arc_idx]]
+    return np.bincount(keys, weights=w[arc_idx], minlength=b * k).reshape(b, k)
 
 
 def fm_refine_bisection(
@@ -58,7 +100,6 @@ def fm_refine_bisection(
 
     for _ in range(max_passes):
         # gain(v) = external − internal edge weight
-        gains = np.zeros(n, dtype=np.float64)
         src = graph.arc_sources()
         same = side[src] == side[graph.targets]
         w = (
@@ -66,9 +107,10 @@ def fm_refine_bisection(
             if graph.weights is None
             else graph.weights
         )
-        np.add.at(gains, src, np.where(same, -w, w))
-        boundary = np.nonzero(gains > -np.inf)[0]  # all vertices eligible
-        heap = [(-gains[v], int(v)) for v in boundary]
+        gains = np.bincount(
+            src, weights=np.where(same, -w, w), minlength=n
+        ).astype(np.float64)
+        heap = list(zip((-gains).tolist(), range(n)))
         heapq.heapify(heap)
         locked = np.zeros(n, dtype=bool)
         weight = np.asarray(
@@ -96,20 +138,17 @@ def fm_refine_bisection(
             if cur_cut_delta < best_delta - 1e-12:
                 best_delta = cur_cut_delta
                 best_prefix = list(moves)
-            # update neighbor gains
+            # one vectorized ±2w scatter updates every unlocked neighbor
             nbrs = graph.neighbors(v)
             wts = graph.neighbor_weights(v)
-            for i in range(nbrs.shape[0]):
-                u = int(nbrs[i])
-                if locked[u]:
-                    continue
-                # u's gain changes by ±2w depending on new relation
-                delta = 2.0 * float(wts[i])
-                if side[u] == side[v]:
-                    live_gain[u] -= delta
-                else:
-                    live_gain[u] += delta
-                heapq.heappush(heap, (-live_gain[u], u))
+            live = ~locked[nbrs]
+            nb = nbrs[live]
+            if nb.shape[0]:
+                delta = np.where(side[nb] == side[v], -2.0, 2.0) * wts[live]
+                np.add.at(live_gain, nb, delta)
+                uniq = np.unique(nb)
+                for pair in zip((-live_gain[uniq]).tolist(), uniq.tolist()):
+                    heapq.heappush(heap, pair)
         # revert to the best prefix
         for v in reversed(moves[len(best_prefix):]):
             side[v] = not side[v]
@@ -127,7 +166,141 @@ def kway_refine(
     max_imbalance: float = 1.05,
     max_passes: int = 8,
 ) -> np.ndarray:
-    """Greedy k-way boundary refinement (kmetis style)."""
+    """Greedy k-way boundary refinement (kmetis style).
+
+    Evaluates only *dirty* vertices: initially the exact boundary, then
+    movers, their neighbors, and balance-blocked vertices.  A clean
+    vertex with an unchanged neighborhood cannot move (its connection
+    weights — hence its gain — are unchanged and were ≤ threshold), and
+    a clean vertex whose neighbor moves *mid-pass* is spliced back into
+    the sweep at its sorted position (matching the exhaustive scan's
+    visit order), so the refined partition is identical to re-scanning
+    the full boundary every pass.
+    """
+    n = graph.n_vertices
+    parts = np.asarray(parts, dtype=np.int64).copy()
+    vw = (
+        np.ones(n, dtype=np.float64)
+        if vertex_weights is None
+        else np.asarray(vertex_weights, dtype=np.float64)
+    )
+    limit = max_imbalance * float(vw.sum()) / k
+    weight = np.bincount(parts, weights=vw, minlength=k)
+    src = graph.arc_sources()
+    dirty = boundary_vertices(src, graph.targets, parts, n)
+
+    for _ in range(max_passes):
+        bmask = boundary_vertices(src, graph.targets, parts, n)
+        # A dirty internal vertex cannot move and the exhaustive scan
+        # skips it; if a neighbor's move later makes it boundary, that
+        # move re-dirties it.
+        dirty &= bmask
+        cand = np.nonzero(dirty)[0]
+        if cand.shape[0] == 0:
+            break
+        rows = _batched_part_weights(graph, cand, parts, k)
+        stale = np.zeros(cand.shape[0], dtype=bool)
+        pos_of = {int(v): i for i, v in enumerate(cand)}
+        # Clean boundary vertices whose neighborhood changes mid-pass
+        # are enqueued here and merged back in ascending-id order.
+        inserted = np.zeros(n, dtype=bool)
+        extra: list[int] = []
+        moved = 0
+        i = 0
+        while i < cand.shape[0] or extra:
+            if extra and (i >= cand.shape[0] or extra[0] < int(cand[i])):
+                v = heapq.heappop(extra)
+                pw = _vertex_part_weights(graph, v, parts, k)
+            else:
+                v = int(cand[i])
+                if stale[i]:
+                    pw = _vertex_part_weights(graph, v, parts, k)
+                else:
+                    pw = rows[i].copy()
+                i += 1
+            own = int(parts[v])
+            pw_own = pw[own]
+            # best alternative part by connection weight
+            pw[own] = -np.inf
+            tgt = int(np.argmax(pw))
+            gain = pw[tgt] - pw_own
+            if gain > 1e-12:
+                if weight[tgt] + vw[v] <= limit:
+                    weight[own] -= vw[v]
+                    weight[tgt] += vw[v]
+                    parts[v] = tgt
+                    moved += 1
+                    # v's own-part change alters its gain; neighbors'
+                    # connection weights changed — re-evaluate them.
+                    nbrs = graph.neighbors(v)
+                    dirty[nbrs] = True
+                    for u in nbrs.tolist():
+                        j = pos_of.get(u)
+                        if j is not None:
+                            if j >= i:
+                                stale[j] = True
+                        elif u > v and bmask[u] and not inserted[u]:
+                            # the exhaustive scan visits u later this
+                            # pass and would see the updated state
+                            heapq.heappush(extra, u)
+                            inserted[u] = True
+                # balance-blocked: stays dirty (weights may free up)
+            else:
+                dirty[v] = False
+        if moved == 0:
+            break
+
+    # Balance enforcement: drain overweight parts through their
+    # boundary, moving each spilled vertex to its best-connected part
+    # with headroom (small cut regressions allowed — balance first, as
+    # in METIS's ufactor contract).
+    for _ in range(max_passes):
+        over_mask = weight > limit + 1e-9
+        if not over_mask.any():
+            break
+        moved = 0
+        # Candidates: every vertex of an overweight part, boundary
+        # vertices first (they cost least to move), light before heavy.
+        is_boundary = boundary_vertices(src, graph.targets, parts, n)
+        cand = np.nonzero(over_mask[parts])[0]
+        order = cand[np.lexsort((vw[cand], ~is_boundary[cand]))]
+        for v in order:
+            v = int(v)
+            own = int(parts[v])
+            if weight[own] <= limit + 1e-9:
+                continue
+            pw = _vertex_part_weights(graph, v, parts, k)
+            pw[own] = -np.inf
+            headroom = weight + vw[v] <= limit
+            headroom[own] = False
+            if not headroom.any():
+                continue
+            pw[~headroom] = -np.inf
+            tgt = int(np.argmax(pw))
+            weight[own] -= vw[v]
+            weight[tgt] += vw[v]
+            parts[v] = tgt
+            moved += 1
+        if moved == 0:
+            break
+    return parts
+
+
+def _kway_refine_reference(
+    graph: Graph,
+    parts: np.ndarray,
+    k: int,
+    *,
+    vertex_weights: Optional[np.ndarray] = None,
+    max_imbalance: float = 1.05,
+    max_passes: int = 8,
+) -> np.ndarray:
+    """Original exhaustive-rescan k-way refinement (regression oracle).
+
+    Recomputes every boundary vertex's connection weights each pass.
+    Kept verbatim so tests can pin ``kway_refine``'s dirty-set fast path
+    to the identical partition.
+    """
     n = graph.n_vertices
     parts = np.asarray(parts, dtype=np.int64).copy()
     vw = (
@@ -147,7 +320,6 @@ def kway_refine(
             pw = _vertex_part_weights(graph, v, parts, k)
             own = int(parts[v])
             pw_own = pw[own]
-            # best alternative part by connection weight
             pw[own] = -np.inf
             tgt = int(np.argmax(pw))
             gain = pw[tgt] - pw_own
@@ -159,17 +331,11 @@ def kway_refine(
         if moved == 0:
             break
 
-    # Balance enforcement: drain overweight parts through their
-    # boundary, moving each spilled vertex to its best-connected part
-    # with headroom (small cut regressions allowed — balance first, as
-    # in METIS's ufactor contract).
     for _ in range(max_passes):
         over_mask = weight > limit + 1e-9
         if not over_mask.any():
             break
         moved = 0
-        # Candidates: every vertex of an overweight part, boundary
-        # vertices first (they cost least to move), light before heavy.
         src = graph.arc_sources()
         is_boundary = np.zeros(n, dtype=bool)
         cross = parts[src] != parts[graph.targets]

@@ -502,15 +502,31 @@ def _run_cnm(graph: Graph, ctx):
     return float(result.modularity), result.labels
 
 
-def _cmp_cnm(value, ref, graph) -> Optional[str]:
-    # CNM is heuristic, so its *labels* have no oracle value; the
-    # differential claim is that the incrementally-tracked modularity it
+def _cmp_reported_modularity(value, ref, graph) -> Optional[str]:
+    # Community detection is heuristic, so the *labels* have no oracle
+    # value; the differential claim is that the modularity the algorithm
     # reports equals the oracle's modularity of the labels it returned.
     reported, labels = value
     expect = oracles.modularity(ref, [int(x) for x in labels])
     if abs(reported - expect) > 1e-6:
         return f"reported modularity {reported!r} != oracle {expect!r} for its own labels"
     return None
+
+
+def _run_clustering(graph: Graph, ctx) -> np.ndarray:
+    from repro.metrics.clustering import local_clustering_coefficients
+
+    return local_clustering_coefficients(graph, ctx=ctx)
+
+
+def _run_pla_multilevel(graph: Graph, ctx):
+    from repro.community.pla import pla
+
+    result = pla(graph, multilevel=True, ctx=ctx)
+    bad = invariants.check_partition(result.labels, graph.n_vertices)
+    if bad:
+        raise invariants.InvariantViolation("; ".join(bad))
+    return float(result.modularity), result.labels
 
 
 CHECKS: tuple[Check, ...] = (
@@ -539,8 +555,13 @@ CHECKS: tuple[Check, ...] = (
     Check("edge_cut", _run_edge_cut,
           lambda ref: oracles.edge_cut(ref, [v % 3 for v in range(ref.n)]),
           _cmp_scalar),
+    Check("clustering", _run_clustering, oracles.local_clustering,
+          _cmp_float_arrays),
     # min_vertices=1: clustering an empty graph raises by contract.
-    Check("cnm", _run_cnm, lambda ref: ref, _cmp_cnm, min_vertices=1),
+    Check("cnm", _run_cnm, lambda ref: ref, _cmp_reported_modularity,
+          min_vertices=1),
+    Check("pla_multilevel", _run_pla_multilevel, lambda ref: ref,
+          _cmp_reported_modularity, min_vertices=1),
 )
 
 

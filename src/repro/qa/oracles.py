@@ -246,6 +246,23 @@ def edge_cut(ref: RefGraph, labels: Sequence[int]) -> float:
     return sum(w for u, v, w in ref.edges if labels[u] != labels[v])
 
 
+def local_clustering(ref: RefGraph) -> list[float]:
+    """Local clustering coefficient per vertex, by set intersection.
+
+    ``C(v) = triangles(v) / (deg(v) choose 2)``; 0.0 for degree < 2.
+    """
+    sets = [set(ref.adj[v]) - {v} for v in range(ref.n)]
+    out = [0.0] * ref.n
+    for v in range(ref.n):
+        d = len(sets[v])
+        if d < 2:
+            continue
+        # each triangle through v appears once per incident neighbor
+        t2 = sum(len(sets[v] & sets[u]) for u in sets[v])
+        out[v] = (t2 / 2.0) / (d * (d - 1) / 2.0)
+    return out
+
+
 def closeness(ref: RefGraph) -> list[float]:
     """Wasserman–Faust improved closeness per vertex.
 

@@ -21,6 +21,8 @@ BACKENDS = ("serial", "thread", "process")
 
 #: algorithm name -> (positional operands, keyword arguments).
 #: Randomized algorithms get seed=0 so all backends draw the same rng.
+#: A ``name@variant`` key re-runs the same registered algorithm with a
+#: different argument profile (the ``@variant`` suffix is stripped).
 SPEC: dict[str, tuple[tuple, dict]] = {
     "approximate_vertex_betweenness": ((0,), {"seed": 0}),
     "articulation_points": ((), {}),
@@ -46,6 +48,7 @@ SPEC: dict[str, tuple[tuple, dict]] = {
     "multilevel_recursive_bisection": ((4,), {"seed": 0}),
     "pbd": ((), {"seed": 0, "patience": 5}),
     "pla": ((), {"seed": 0}),
+    "pla@multilevel": ((), {"multilevel": True, "seed": 0}),
     "pma": ((), {}),
     "prim_mst": ((0,), {}),
     "sampled_betweenness": ((), {"seed": 0}),
@@ -58,8 +61,9 @@ SPEC: dict[str, tuple[tuple, dict]] = {
 
 def test_spec_covers_registry():
     """Every registered algorithm must have a parity table entry."""
-    missing = sorted(set(ALGORITHMS) - set(SPEC))
-    stale = sorted(set(SPEC) - set(ALGORITHMS))
+    covered = {name.partition("@")[0] for name in SPEC}
+    missing = sorted(set(ALGORITHMS) - covered)
+    stale = sorted(covered - set(ALGORITHMS))
     assert not missing, (
         f"algorithms registered without backend-parity coverage: {missing}; "
         f"add them to SPEC in {__file__}"
@@ -115,8 +119,9 @@ def karate():
 @pytest.mark.parametrize("name", sorted(SPEC))
 def test_backend_parity(name, karate):
     operands, kwargs = SPEC[name]
+    algo = name.partition("@")[0]
     results = {
-        b: repro.run(name, karate, *operands, backend=b, n_workers=2, **kwargs)
+        b: repro.run(algo, karate, *operands, backend=b, n_workers=2, **kwargs)
         for b in BACKENDS
     }
     ref = _project(results["serial"].value)

@@ -205,3 +205,44 @@ class TestSpectral:
         g = road_network(100, 4)
         with pytest.raises(ValueError):
             fiedler_vector(g, method="voodoo")
+
+
+class TestKwayDirtySetRegression:
+    """The dirty-set fast path must produce *identical* partitions to
+    the original exhaustive boundary re-scan (kept as
+    ``_kway_refine_reference``)."""
+
+    @pytest.mark.parametrize("seed,k", [(0, 2), (1, 3), (2, 4), (3, 7)])
+    def test_identical_to_reference_rmat(self, seed, k):
+        from repro.partitioning.refine import (
+            _kway_refine_reference,
+            kway_refine,
+        )
+
+        g = rmat(9, 6.0, rng=np.random.default_rng(seed))
+        parts0 = np.random.default_rng(seed + 100).integers(
+            0, k, g.n_vertices
+        ).astype(np.int64)
+        fast = kway_refine(g, parts0, k)
+        ref = _kway_refine_reference(g, parts0, k)
+        np.testing.assert_array_equal(fast, ref)
+
+    def test_identical_to_reference_weighted(self):
+        from repro.partitioning.refine import (
+            _kway_refine_reference,
+            kway_refine,
+        )
+
+        from repro.graph import from_edge_array
+
+        rng = np.random.default_rng(11)
+        base = gnm_random(200, 700, rng=rng)
+        u, v = base.edge_endpoints()
+        g = from_edge_array(
+            200, u, v, weights=rng.random(u.shape[0]) + 0.1, directed=False
+        )
+        vw = rng.random(g.n_vertices) + 0.5
+        parts0 = rng.integers(0, 4, g.n_vertices).astype(np.int64)
+        fast = kway_refine(g, parts0, 4, vertex_weights=vw)
+        ref = _kway_refine_reference(g, parts0, 4, vertex_weights=vw)
+        np.testing.assert_array_equal(fast, ref)

@@ -71,10 +71,13 @@ from repro.community import cnm, girvan_newman, pbd, pla, pma, spectral_modulari
 from repro.errors import (
     ClusteringError,
     ConvergenceError,
+    ExecutionError,
     GraphFormatError,
     GraphStructureError,
     PartitioningError,
+    RetryExhausted,
     SnapError,
+    TaskTimeout,
 )
 from repro.graph import Graph, from_edge_list, from_edge_array
 from repro.kernels import (
@@ -104,7 +107,7 @@ from repro.obs import (
     run,
     use_tracer,
 )
-from repro.parallel import ParallelContext
+from repro.parallel import ChaosMonkey, ChaosPlan, Fault, FaultPolicy, ParallelContext
 from repro.partitioning import (
     multilevel_bisection,
     multilevel_kway,
@@ -143,6 +146,11 @@ __all__ = [
     "algorithm_names",
     "get_algorithm",
     "ParallelContext",
+    # resilience / chaos
+    "FaultPolicy",
+    "ChaosPlan",
+    "ChaosMonkey",
+    "Fault",
     # kernels
     "bfs",
     "msbfs",
@@ -185,5 +193,8 @@ __all__ = [
     "ConvergenceError",
     "PartitioningError",
     "ClusteringError",
+    "ExecutionError",
+    "TaskTimeout",
+    "RetryExhausted",
     "__version__",
 ]

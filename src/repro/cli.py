@@ -9,13 +9,18 @@ Mirrors the utility programs the original SNAP distribution shipped::
     python -m repro convert  graph.txt out.graph --to metis
     python -m repro profile  --rmat-scale 10 -o profile.json
     python -m repro check    --seed 0 --budget 30
+    python -m repro chaos    --backends thread,process
 
 ``analyze``, ``cluster`` and ``partition`` accept ``--backend
 {serial,thread,process}`` / ``--workers P`` to pick the execution
 backend and ``--profile out.json`` to record the run's span tree, cost
-model and pool gauges.  ``profile`` is the dedicated measurement
-front-end: it runs a set of registered algorithms under full tracing
-and writes one JSON document per run.
+model and pool gauges; ``--timeout SEC`` / ``--retries N`` /
+``--on-worker-crash {rebuild,degrade,raise}`` arm the fault-tolerant
+dispatch layer (see DESIGN.md §8).  ``profile`` is the dedicated
+measurement front-end: it runs a set of registered algorithms under
+full tracing and writes one JSON document per run.  ``chaos`` injects
+every fault kind on every backend and asserts recovery with
+bit-identical results.
 
 Graphs are read from whitespace edge lists (``u v [w]``), METIS
 (``.graph``), DIMACS (``.gr``/``.dimacs``) or NumPy (``.npz``) files,
@@ -73,12 +78,32 @@ def _load(path: str, directed: bool = False) -> Graph:
     return graph_io.read_edge_list(path, directed=directed)
 
 
+def _fault_policy_from_args(args: argparse.Namespace):
+    """FaultPolicy from the shared resilience flags (None if untouched)."""
+    timeout = getattr(args, "timeout", None)
+    retries = getattr(args, "retries", None)
+    crash = getattr(args, "on_worker_crash", None)
+    if timeout is None and retries is None and crash is None:
+        return None
+    from repro.parallel.resilience import FaultPolicy
+
+    kw = {}
+    if timeout is not None:
+        kw["task_timeout"] = timeout
+    if retries is not None:
+        kw["max_retries"] = retries
+    if crash is not None:
+        kw["on_worker_crash"] = crash
+    return FaultPolicy(**kw)
+
+
 def _make_ctx(args: argparse.Namespace, tracer=None) -> ParallelContext:
     """Execution context from the shared --backend/--workers flags."""
     return ParallelContext(
         getattr(args, "workers", 1),
         backend=getattr(args, "backend", None) or "serial",
         trace=tracer,
+        fault_policy=_fault_policy_from_args(args),
     )
 
 
@@ -303,6 +328,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         checks=checks,
         n_workers=args.workers,
         fault=args.fault,
+        chaos=args.chaos,
         artifact_dir=artifact_dir,
         shrink_failures=not args.no_shrink,
     )
@@ -316,6 +342,68 @@ def _cmd_check(args: argparse.Namespace) -> int:
             f"backends={'/'.join(backends)} representations={'/'.join(reps)}"
         )
     return 0 if report.ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-matrix self-test: every fault kind on every backend must be
+    survived with results bit-identical to the fault-free run."""
+    from repro.parallel.chaos import FAULT_KINDS, ChaosPlan, Fault
+    from repro.parallel.resilience import FaultPolicy
+
+    g = generators.rmat(
+        args.scale, args.edge_factor, rng=np.random.default_rng(args.seed)
+    )
+    if g.directed:
+        g = g.as_undirected()
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    unknown = [k for k in kinds if k not in FAULT_KINDS]
+    if unknown:
+        print(
+            f"chaos: unknown fault kind(s) {', '.join(unknown)}; "
+            f"known: {', '.join(FAULT_KINDS)}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"graph: {g}  (rmat scale={args.scale})")
+    failures = 0
+    for backend in backends:
+        baseline = obs_run(
+            args.algorithm, g, backend=backend,
+            n_workers=args.workers, trace=False,
+        ).value
+        for kind in kinds:
+            plan = ChaosPlan([Fault(kind, task_index=0, hang_seconds=1.0)])
+            policy = FaultPolicy(
+                task_timeout=0.25 if kind == "hang" else None,
+            )
+            res = obs_run(
+                args.algorithm, g, backend=backend, n_workers=args.workers,
+                trace=False, fault_policy=policy, chaos=plan,
+            )
+            identical = np.array_equal(
+                np.asarray(baseline), np.asarray(res.value)
+            )
+            ok = identical and plan.n_fired >= 1
+            failures += not ok
+            stats = res.pool
+            print(
+                f"  {backend:7s} {kind:5s} "
+                f"{'ok  ' if ok else 'FAIL'} "
+                f"injected={stats.faults_injected} retries={stats.retries} "
+                f"timeouts={stats.task_timeouts} "
+                f"crashes={stats.worker_crashes} "
+                f"rebuilds={stats.pool_rebuilds} "
+                f"degradations={stats.degradations} "
+                f"shm_fallbacks={stats.shm_fallbacks}"
+                + ("" if identical else "  << result diverged")
+            )
+    total = len(backends) * len(kinds)
+    print(
+        f"chaos matrix: {total - failures}/{total} cells recovered "
+        f"bit-identically"
+    )
+    return 0 if failures == 0 else 1
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -364,6 +452,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker count for thread/process backends")
         p.add_argument("--profile", metavar="OUT.json", default=None,
                        help="record a span-tree profile of the run")
+        p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-task timeout; hung workers are replaced "
+                            "and the task retried")
+        p.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="per-task retry budget for transient worker "
+                            "failures (default 2 when resilience is on)")
+        p.add_argument("--on-worker-crash", default=None,
+                       choices=["rebuild", "degrade", "raise"],
+                       help="crash response: rebuild the pool, degrade "
+                            "process->thread->serial, or raise")
 
     p = sub.add_parser("analyze", help="exploratory network analysis")
     p.add_argument("graph")
@@ -438,6 +536,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault", default=None,
                    help="inject a known fault (harness self-test); "
                         "the run is expected to FAIL")
+    p.add_argument("--chaos", action="store_true",
+                   help="arm the seeded chaos monkey on every backend: "
+                        "injected worker faults must not change any "
+                        "oracle comparison")
     p.add_argument("--artifacts", default=None,
                    help="directory for minimal reproducer files "
                         "(default: benchmarks/results/qa)")
@@ -446,6 +548,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-shrink", action="store_true",
                    help="report failures without minimizing them")
     p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection self-test: survive every fault kind on "
+             "every backend with bit-identical results",
+    )
+    p.add_argument("--scale", type=int, default=8, help="rmat: log2 n")
+    p.add_argument("--edge-factor", type=float, default=8.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--algorithm", default="betweenness",
+                   help="registry algorithm to run under fault injection")
+    p.add_argument("--backends", default="thread,process",
+                   help="comma-separated execution backends")
+    p.add_argument("--kinds", default="raise,hang,exit,shm",
+                   help="comma-separated fault kinds")
+    p.add_argument("--workers", type=int, default=2)
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser("generate", help="synthetic graph generators")
     p.add_argument("family", choices=["rmat", "smallworld", "random",

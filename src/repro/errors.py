@@ -39,3 +39,72 @@ class PartitioningError(SnapError):
 
 class ClusteringError(SnapError):
     """Raised when a community-detection algorithm cannot proceed."""
+
+
+class ExecutionError(SnapError):
+    """Base class for failures of the parallel execution runtime.
+
+    The fault-tolerant dispatch path (:mod:`repro.parallel.resilience`)
+    classifies every failure under this hierarchy: transient errors are
+    retried under the active :class:`~repro.parallel.resilience.FaultPolicy`,
+    terminal ones propagate.
+    """
+
+
+class TransientWorkerError(ExecutionError):
+    """A retryable task failure (flaky I/O, injected chaos, lost worker).
+
+    Tasks raising this (or a subclass) are re-submitted with exponential
+    backoff until the policy's retry budget is exhausted, at which point
+    :class:`RetryExhausted` propagates instead.
+    """
+
+
+class WorkerCrashError(TransientWorkerError):
+    """A worker process died mid-task (or a thread-backend simulation).
+
+    On the process backend this wraps ``BrokenProcessPool``: the pool is
+    rebuilt and only the batches without results are re-run.  The chaos
+    harness's ``exit`` planter raises it directly on in-process backends
+    where a hard ``os._exit`` would kill the interpreter.
+    """
+
+
+class ShmAttachError(TransientWorkerError):
+    """Shared-memory segment allocation or worker-side attach failed.
+
+    The batch dispatcher reacts by degrading the graph handoff from
+    zero-copy shared memory to per-task pickling and retrying.
+    """
+
+
+class TaskTimeout(ExecutionError):
+    """A task exceeded the policy's per-task deadline.
+
+    Retried while ``retry_timeouts`` allows; terminal once the retry
+    budget is spent (the hung worker's pool is rebuilt either way).
+    """
+
+
+class PhaseDeadlineExceeded(TaskTimeout):
+    """A whole ``map``/``map_batches`` call exceeded its phase deadline.
+
+    Always terminal: the deadline bounds the caller's wall clock, so
+    there is no budget left to retry inside.
+    """
+
+
+class RetryExhausted(ExecutionError):
+    """Transient failures persisted past the policy's retry budget.
+
+    Chained (``raise ... from exc``) onto the last transient failure so
+    the root cause stays visible.
+    """
+
+
+class BackendUnavailable(ExecutionError):
+    """An execution backend could not be (re)built.
+
+    Raised when pool construction fails, or when the pool-rebuild budget
+    is spent and the degradation ladder is disabled or exhausted.
+    """

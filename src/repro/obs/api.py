@@ -17,6 +17,10 @@ count ``k``) and everything else is keyword-only.  The
 * ``seed=`` — an integer convenience for algorithms that take an
   ``rng=`` generator; ``seed=7`` is exactly ``rng=default_rng(7)``.
   Passing both is an error.
+* ``fault_policy=`` — a :class:`~repro.parallel.resilience.FaultPolicy`
+  for algorithms that take a ``ctx=`` execution context: installed on
+  the caller's context for the duration of the call (then restored),
+  or onto a fresh private context when none was passed.
 * **Legacy positional shims** — options that were once accepted
   positionally keep working but emit :class:`DeprecationWarning`; the
   decorator maps them onto their keyword names (the ``legacy`` tuple).
@@ -69,11 +73,13 @@ def algorithm(
     def deco(fn: Callable) -> Callable:
         code_vars = fn.__code__.co_varnames[: fn.__code__.co_argcount + fn.__code__.co_kwonlyargcount]
         accepts_rng = "rng" in code_vars
+        accepts_ctx = "ctx" in code_vars
 
         @functools.wraps(fn)
         def wrapper(graph, *args, **kwargs):
             trace = kwargs.pop("trace", None)
             seed = kwargs.pop("seed", None)
+            fault_policy = kwargs.pop("fault_policy", None)
             if len(args) > operands:
                 extras, args = args[operands:], args[:operands]
                 if len(extras) > len(legacy):
@@ -100,15 +106,35 @@ def algorithm(
                 if kwargs.get("rng") is not None:
                     raise TypeError(f"{name}(): pass seed= or rng=, not both")
                 kwargs["rng"] = np.random.default_rng(seed)
-            tracer = trace if trace is not None else current_tracer()
-            if not tracer:
-                return fn(graph, *args, **kwargs)
-            with use_tracer(tracer):
-                sp = tracer.begin(name, **_graph_attrs(graph))
-                try:
+            own_ctx = None
+            restore_ctx = None
+            if fault_policy is not None:
+                if not accepts_ctx:
+                    raise TypeError(f"{name}() does not accept fault_policy=")
+                ctx = kwargs.get("ctx")
+                if ctx is None:
+                    from repro.parallel.runtime import ParallelContext
+
+                    own_ctx = ParallelContext(1, fault_policy=fault_policy)
+                    kwargs["ctx"] = own_ctx
+                else:
+                    restore_ctx = (ctx, ctx.fault_policy)
+                    ctx.fault_policy = fault_policy
+            try:
+                tracer = trace if trace is not None else current_tracer()
+                if not tracer:
                     return fn(graph, *args, **kwargs)
-                finally:
-                    tracer.end(sp)
+                with use_tracer(tracer):
+                    sp = tracer.begin(name, **_graph_attrs(graph))
+                    try:
+                        return fn(graph, *args, **kwargs)
+                    finally:
+                        tracer.end(sp)
+            finally:
+                if restore_ctx is not None:
+                    restore_ctx[0].fault_policy = restore_ctx[1]
+                if own_ctx is not None:
+                    own_ctx.close()
 
         wrapper.__algorithm__ = name
         wrapper.__wrapped__ = fn

@@ -88,6 +88,8 @@ def run(
     backend: Optional[str] = None,
     n_workers: int = 1,
     trace: Union[bool, Tracer, None] = True,
+    fault_policy=None,
+    chaos=None,
     **kwargs,
 ) -> RunResult:
     """Execute an algorithm under full observability.
@@ -98,6 +100,11 @@ def run(
     ``backend``/``n_workers`` unless an explicit ``ctx`` is passed (the
     caller then owns its lifecycle).  ``trace`` defaults to ``True``:
     a fresh tracer records the run and its root lands in the result.
+
+    ``fault_policy`` (a :class:`~repro.parallel.resilience.FaultPolicy`)
+    and ``chaos`` (a planner from :mod:`repro.parallel.chaos`) arm the
+    fault-tolerant dispatch path; on an explicit ``ctx`` they are
+    installed for the duration of the run and restored afterwards.
     """
     from repro.parallel.runtime import ParallelContext
 
@@ -110,8 +117,21 @@ def run(
 
     tracer = resolve_tracer(trace)
     own_ctx = ctx is None
+    restore = None
     if own_ctx:
-        ctx = ParallelContext(n_workers, backend=backend, trace=tracer)
+        ctx = ParallelContext(
+            n_workers,
+            backend=backend,
+            trace=tracer,
+            fault_policy=fault_policy,
+            chaos=chaos,
+        )
+    elif fault_policy is not None or chaos is not None:
+        restore = (ctx.fault_policy, ctx.chaos)
+        if fault_policy is not None:
+            ctx.fault_policy = fault_policy
+        if chaos is not None:
+            ctx.chaos = chaos
     try:
         t0 = time.perf_counter()
         value = fn(graph, *operands, ctx=ctx, trace=tracer, **kwargs)
@@ -131,3 +151,5 @@ def run(
     finally:
         if own_ctx:
             ctx.close()
+        elif restore is not None:
+            ctx.fault_policy, ctx.chaos = restore

@@ -18,9 +18,17 @@ for Python-level work, so this package does two things at once:
   real cores when the hardware has them.
 """
 
+from repro.parallel.chaos import ChaosMonkey, ChaosPlan, Fault
 from repro.parallel.costmodel import CostModel, MachineModel
+from repro.parallel.resilience import FaultPolicy
 from repro.parallel.runtime import ParallelContext
-from repro.parallel.shm import GraphSpec, SharedGraph, attach_graph, share_graph
+from repro.parallel.shm import (
+    GraphSpec,
+    SharedGraph,
+    attach_graph,
+    live_segment_names,
+    share_graph,
+)
 from repro.parallel.partitioner import (
     balanced_chunks,
     chunk_ranges,
@@ -30,12 +38,17 @@ from repro.parallel.scheduler import WorkStealingScheduler, simulate_work_steali
 from repro.parallel.sync import CountedLock, SyncCounters
 
 __all__ = [
+    "ChaosMonkey",
+    "ChaosPlan",
     "CostModel",
+    "Fault",
+    "FaultPolicy",
     "MachineModel",
     "ParallelContext",
     "GraphSpec",
     "SharedGraph",
     "attach_graph",
+    "live_segment_names",
     "share_graph",
     "balanced_chunks",
     "chunk_ranges",

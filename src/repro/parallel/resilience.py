@@ -1,0 +1,394 @@
+"""Fault-tolerant dispatch for the parallel runtime.
+
+:class:`~repro.parallel.runtime.ParallelContext` normally assumes every
+worker succeeds; this module is the opt-in layer that doesn't.  When a
+context carries a :class:`FaultPolicy` (or a chaos planter), its
+``map``/``map_batches`` calls route through :func:`drive`, which wraps
+the backend pools with:
+
+* **per-task timeouts** and a **per-phase deadline** — a hung worker is
+  detected at ``task_timeout``, its pool rebuilt, the task retried;
+  ``phase_deadline`` bounds the whole dispatch call and is terminal;
+* **retry with exponential backoff + jitter** for transient failures
+  (:class:`~repro.errors.TransientWorkerError` and subclasses, plus any
+  ``transient_types`` the policy adds) — deterministic jitter from the
+  policy's seed;
+* **worker-crash recovery** — ``BrokenProcessPool`` (or an in-band
+  :class:`~repro.errors.WorkerCrashError`) marks the pool dead; it is
+  rebuilt and only the tasks *without* results are re-submitted;
+* **graceful degradation** — when a backend keeps failing (pool rebuild
+  budget spent, pool construction impossible), execution steps down a
+  ladder (process → thread → serial) instead of aborting, and the
+  shared-memory graph handoff falls back to per-task pickling on
+  attach/allocation failures (:class:`~repro.errors.ShmAttachError`).
+
+Every fault, retry, rebuild, fallback and degradation is counted on the
+context's :class:`~repro.parallel.runtime.PoolStats` and emitted as a
+``fault.*`` tracer event span, so ``RunResult``/``repro profile``
+output tells the user exactly what the runtime survived.
+
+The driver is deliberately backend-agnostic: the runtime hands it a
+``make_runner(mode)`` factory producing small runner objects (submit /
+run_inline / rebuild / abandon / disable_shm) per degradation rung.
+With no policy and no chaos on the context, none of this code runs —
+the runtime's fast paths are untouched.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import BrokenExecutor, CancelledError
+from concurrent.futures import TimeoutError as _FutureTimeout
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.errors import (
+    BackendUnavailable,
+    PhaseDeadlineExceeded,
+    RetryExhausted,
+    ShmAttachError,
+    TaskTimeout,
+    TransientWorkerError,
+    WorkerCrashError,
+)
+
+__all__ = ["FaultPolicy", "drive"]
+
+_CRASH_MODES = ("rebuild", "degrade", "raise")
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Resilience knobs for one execution context.
+
+    ``task_timeout`` / ``phase_deadline`` are seconds (``None`` =
+    unbounded); timeouts are enforced on pooled backends only — the
+    serial rung cannot preempt its own thread.  ``max_retries`` is the
+    per-task budget for transient failures; ``max_pool_rebuilds`` is
+    the per-dispatch budget of pool rebuilds before the backend is
+    considered unhealthy and the degradation ladder steps down
+    (process → thread → serial).  ``on_worker_crash`` picks the crash
+    response: ``"rebuild"`` (default) rebuilds the pool and re-runs
+    missing tasks, ``"degrade"`` steps down immediately, ``"raise"``
+    propagates :class:`~repro.errors.WorkerCrashError`.
+    """
+
+    task_timeout: Optional[float] = None
+    phase_deadline: Optional[float] = None
+    max_retries: int = 2
+    retry_timeouts: bool = True
+    backoff_base: float = 0.01
+    backoff_factor: float = 2.0
+    backoff_max: float = 0.25
+    jitter: float = 0.25
+    max_pool_rebuilds: int = 2
+    degradation: bool = True
+    on_worker_crash: str = "rebuild"
+    transient_types: tuple = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.on_worker_crash not in _CRASH_MODES:
+            raise ValueError(
+                f"on_worker_crash must be one of {_CRASH_MODES}, "
+                f"got {self.on_worker_crash!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+        for t in (self.task_timeout, self.phase_deadline):
+            if t is not None and t <= 0:
+                raise ValueError("timeouts must be positive (or None)")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def is_transient(self, exc: BaseException) -> bool:
+        """True if ``exc`` should be retried rather than propagated."""
+        return isinstance(exc, (TransientWorkerError,) + self.transient_types)
+
+    def backoff_seconds(self, retry_round: int, rng: random.Random) -> float:
+        """Exponential backoff with symmetric seeded jitter."""
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** retry_round,
+        )
+        return max(0.0, base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0)))
+
+
+def drive(
+    ctx,
+    n_tasks: int,
+    make_runner: Callable[[str], object],
+    ladder: Sequence[str],
+    *,
+    call_index: int,
+) -> list:
+    """Run ``n_tasks`` resiliently; results in task-index order.
+
+    ``make_runner(mode)`` builds one degradation rung (see the runner
+    classes in :mod:`repro.parallel.runtime`); ``ladder`` orders the
+    rungs to try.  The context supplies the :class:`FaultPolicy`, the
+    optional chaos planter, the tracer for ``fault.*`` event spans and
+    the :class:`~repro.parallel.runtime.PoolStats` counters.
+
+    On *any* exception — terminal fault, programming error in a task,
+    ``KeyboardInterrupt`` — outstanding futures are cancelled and, if
+    the pool is suspect (hung or broken) or the exception is an
+    interrupt, the pool is abandoned so ``close()`` never blocks on a
+    wedged worker.  No future, pool or segment outlives the call
+    untracked.
+    """
+    policy = ctx.fault_policy if ctx.fault_policy is not None else FaultPolicy()
+    chaos = ctx.chaos
+    stats = ctx.pool
+    tracer = ctx.tracer
+    rng = random.Random((int(policy.seed) << 16) ^ (call_index & 0xFFFF))
+    t0 = time.monotonic()
+    deadline = (
+        t0 + policy.phase_deadline if policy.phase_deadline is not None else None
+    )
+
+    results: list = [None] * n_tasks
+    done = [False] * n_tasks
+    attempts = [0] * n_tasks
+
+    def event(name: str, **attrs) -> None:
+        if tracer:
+            tracer.end(tracer.begin(name, **attrs))
+
+    rung = 0
+    runner = None
+
+    def build_runner(start: int) -> int:
+        """Instantiate the first constructible rung at or below ``start``."""
+        nonlocal runner
+        r = start
+        while True:
+            try:
+                runner = make_runner(ladder[r])
+                return r
+            except Exception as exc:
+                event("fault.backend_unavailable", backend=ladder[r])
+                if policy.degradation and r + 1 < len(ladder):
+                    stats.degradations += 1
+                    r += 1
+                    continue
+                raise BackendUnavailable(
+                    f"could not build {ladder[r]!r} backend: {exc}"
+                ) from exc
+
+    rung = build_runner(0)
+    rebuilds = 0
+
+    def degrade(reason: str) -> bool:
+        """Step down the ladder; fresh retry budgets on the new rung."""
+        nonlocal rung, rebuilds
+        if not policy.degradation or rung + 1 >= len(ladder):
+            return False
+        try:
+            runner.abandon()
+        except Exception:
+            pass
+        stats.degradations += 1
+        rung = build_runner(rung + 1)
+        rebuilds = 0
+        for i in range(n_tasks):
+            if not done[i]:
+                attempts[i] = 0
+        event("fault.degrade", to=ladder[rung], reason=reason)
+        return True
+
+    def planted_fault(i: int):
+        if chaos is None:
+            return None
+        f = chaos.fault_for(call_index, i, attempts[i])
+        if f is not None:
+            stats.faults_injected += 1
+            event(
+                "fault.inject", kind=f.kind, task=i, attempt=attempts[i]
+            )
+        return f
+
+    def check_deadline() -> float | None:
+        """Remaining phase budget; raises once it is spent."""
+        if deadline is None:
+            return None
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise PhaseDeadlineExceeded(
+                f"dispatch exceeded phase deadline of "
+                f"{policy.phase_deadline}s with "
+                f"{done.count(False)} of {n_tasks} task(s) unfinished"
+            )
+        return remaining
+
+    def note_retry(i: int, exc: BaseException, *, kind: str) -> None:
+        """Book one transient failure; raises when the budget is spent."""
+        if attempts[i] >= policy.max_retries:
+            raise RetryExhausted(
+                f"task {i} still failing after {attempts[i] + 1} "
+                f"attempt(s) on backend {ladder[rung]!r}: {exc!r}"
+            ) from exc
+        attempts[i] += 1
+        stats.retries += 1
+        event("fault.retry", task=i, attempt=attempts[i], kind=kind)
+
+    pool_suspect = False  # a worker is hung/dead: rebuild before reuse
+    retry_round = 0
+    outstanding: dict[int, object] = {}
+    try:
+        while True:
+            pending = [i for i in range(n_tasks) if not done[i]]
+            if not pending:
+                break
+            check_deadline()
+
+            if getattr(runner, "serial", False):
+                # Inline rung: no preemption, so timeouts do not apply;
+                # transient faults (including simulated crashes) retry.
+                for i in pending:
+                    fault = planted_fault(i)
+                    try:
+                        results[i] = runner.run_inline(i, fault)
+                        done[i] = True
+                    except Exception as exc:
+                        if not policy.is_transient(exc):
+                            raise
+                        note_retry(i, exc, kind=type(exc).__name__)
+            else:
+                crashed = False
+                outstanding = {}
+                for i in pending:
+                    fault = planted_fault(i)
+                    try:
+                        outstanding[i] = runner.submit(i, fault)
+                    except (BrokenExecutor, RuntimeError):
+                        # Pool died at submit time; collect what was
+                        # submitted, then rebuild below.
+                        crashed = True
+                        pool_suspect = True
+                        break
+                for i in list(outstanding):
+                    fut = outstanding.pop(i)
+                    timeout = policy.task_timeout
+                    remaining = check_deadline()
+                    if remaining is not None:
+                        timeout = (
+                            remaining if timeout is None
+                            else min(timeout, remaining)
+                        )
+                    try:
+                        out = fut.result(timeout=timeout)
+                    except _FutureTimeout as exc:
+                        fut.cancel()
+                        pool_suspect = True
+                        if (
+                            deadline is not None
+                            and time.monotonic() >= deadline
+                        ):
+                            check_deadline()  # raises PhaseDeadlineExceeded
+                        stats.task_timeouts += 1
+                        event(
+                            "fault.timeout", task=i, attempt=attempts[i],
+                            timeout_s=policy.task_timeout,
+                        )
+                        if not policy.retry_timeouts or (
+                            attempts[i] >= policy.max_retries
+                        ):
+                            raise TaskTimeout(
+                                f"task {i} exceeded its "
+                                f"{policy.task_timeout}s deadline on "
+                                f"backend {ladder[rung]!r}"
+                            ) from exc
+                        attempts[i] += 1
+                        stats.retries += 1
+                    except (BrokenExecutor, CancelledError) as exc:
+                        # The pool broke; this and the remaining futures
+                        # of the pass are lost, completed ones are kept.
+                        pool_suspect = True
+                        if not crashed:
+                            crashed = True
+                            stats.worker_crashes += 1
+                            event("fault.crash", backend=ladder[rung])
+                        if policy.on_worker_crash == "raise":
+                            raise WorkerCrashError(
+                                f"worker crashed on backend "
+                                f"{ladder[rung]!r}: {exc!r}"
+                            ) from exc
+                        if policy.on_worker_crash == "degrade":
+                            continue  # degrade at end of pass
+                        note_retry(i, exc, kind="worker_crash")
+                    except Exception as exc:
+                        if not policy.is_transient(exc):
+                            raise
+                        if isinstance(exc, WorkerCrashError):
+                            stats.worker_crashes += 1
+                            event("fault.crash", backend=ladder[rung])
+                            if policy.on_worker_crash == "raise":
+                                raise
+                            if policy.on_worker_crash == "degrade":
+                                # Crash responses step down the ladder
+                                # without spending the retry budget.
+                                crashed = True
+                                pool_suspect = True
+                                continue
+                        if isinstance(exc, ShmAttachError):
+                            if runner.disable_shm():
+                                stats.shm_fallbacks += 1
+                                event("fault.shm_fallback", task=i)
+                        note_retry(i, exc, kind=type(exc).__name__)
+                    else:
+                        results[i] = out
+                        done[i] = True
+
+                if pool_suspect:
+                    if crashed and policy.on_worker_crash == "degrade":
+                        if not degrade("worker_crash"):
+                            raise WorkerCrashError(
+                                f"worker crashed on backend "
+                                f"{ladder[rung]!r} and no degradation "
+                                f"rung remains"
+                            )
+                    elif rebuilds >= policy.max_pool_rebuilds:
+                        if not degrade("rebuild_budget"):
+                            raise BackendUnavailable(
+                                f"backend {ladder[rung]!r} still broken "
+                                f"after {rebuilds} pool rebuild(s)"
+                            )
+                    else:
+                        rebuilds += 1
+                        try:
+                            runner.rebuild()
+                        except Exception as exc:
+                            if not degrade("rebuild_failed"):
+                                raise BackendUnavailable(
+                                    f"could not rebuild {ladder[rung]!r} "
+                                    f"pool: {exc}"
+                                ) from exc
+                        else:
+                            stats.pool_rebuilds += 1
+                            event("fault.rebuild", backend=ladder[rung])
+                    pool_suspect = False
+
+            if any(not d for d in done):
+                delay = policy.backoff_seconds(retry_round, rng)
+                retry_round += 1
+                if delay > 0.0:
+                    if deadline is not None:
+                        delay = min(delay, max(0.0, deadline - time.monotonic()))
+                    time.sleep(delay)
+    except BaseException as exc:
+        for fut in outstanding.values():
+            try:
+                fut.cancel()
+            except Exception:
+                pass
+        if pool_suspect or isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            try:
+                runner.abandon()
+            except Exception:
+                pass
+        raise
+    return results

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import pickle
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -39,12 +40,15 @@ from typing import Callable, Iterable, Optional, Sequence, TypeVar
 import numpy as np
 
 from repro.obs.tracer import Tracer, current_tracer, use_tracer
+from repro.parallel import chaos as _chaos
+from repro.parallel import resilience as _resilience
 from repro.parallel.costmodel import CostModel, MachineModel
 from repro.parallel.partitioner import (
     balanced_chunks,
     chunk_ranges,
     imbalance_factor,
 )
+from repro.parallel.resilience import FaultPolicy
 from repro.parallel.sync import CountedLock, SyncCounters
 
 T = TypeVar("T")
@@ -84,6 +88,15 @@ class PoolStats:
     shm_bytes: int = 0
     busy_seconds: float = 0.0
     elapsed_seconds: float = 0.0
+    # Fault-tolerance counters (all zero unless a FaultPolicy or chaos
+    # planter is active on the context; see repro.parallel.resilience).
+    retries: int = 0
+    task_timeouts: int = 0
+    worker_crashes: int = 0
+    pool_rebuilds: int = 0
+    degradations: int = 0
+    shm_fallbacks: int = 0
+    faults_injected: int = 0
 
     def utilization(self, n_workers: int) -> float:
         """Mean worker utilization over the traced dispatch calls."""
@@ -103,6 +116,13 @@ class PoolStats:
             "shm_bytes": self.shm_bytes,
             "busy_seconds": round(self.busy_seconds, 6),
             "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "retries": self.retries,
+            "task_timeouts": self.task_timeouts,
+            "worker_crashes": self.worker_crashes,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degradations": self.degradations,
+            "shm_fallbacks": self.shm_fallbacks,
+            "faults_injected": self.faults_injected,
         }
 
     def reset(self) -> None:
@@ -141,6 +161,139 @@ def _traced_batch_call(worker: Callable, graph, batch, payload):
     return out, sp.to_dict()
 
 
+class _RunnerBase:
+    """One degradation rung of the fault-tolerant dispatcher.
+
+    Duck type consumed by :func:`repro.parallel.resilience.drive`:
+    ``submit``/``run_inline`` execute one task (optionally carrying a
+    planted chaos fault), ``rebuild``/``abandon`` manage the backing
+    pool, ``disable_shm`` downgrades the graph handoff.  Runners reuse
+    the context's persistent pools so the warm-pool behaviour of the
+    fast path is preserved.
+    """
+
+    def __init__(self, ctx: "ParallelContext", mode: str, traced: bool) -> None:
+        self.ctx = ctx
+        self.mode = mode
+        self.traced = traced
+        self.serial = mode == "serial"
+
+    def _pool(self):
+        if self.mode == "process":
+            return self.ctx._ensure_process_pool()
+        return self.ctx._ensure_thread_pool()
+
+    def disable_shm(self) -> bool:
+        return False
+
+    def rebuild(self) -> None:
+        """Drop the (suspect) pool; a fresh one is built at next submit."""
+        self.abandon()
+
+    def abandon(self) -> None:
+        """Detach the pool without waiting: hung or dead workers must
+        never block the coordinator (or a later ``close()``)."""
+        ctx = self.ctx
+        if self.mode == "process":
+            pool, ctx._process_pool = ctx._process_pool, None
+            if pool is not None:
+                for proc in list(
+                    (getattr(pool, "_processes", None) or {}).values()
+                ):
+                    try:
+                        proc.terminate()
+                    except Exception:
+                        pass
+                try:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                except Exception:
+                    pass
+        elif self.mode == "thread":
+            pool, ctx._thread_pool = ctx._thread_pool, None
+            if pool is not None:
+                try:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                except Exception:
+                    pass
+
+
+class _MapRunner(_RunnerBase):
+    """Rung executing ``fn(item)`` tasks (ParallelContext.map)."""
+
+    def __init__(self, ctx, mode, traced, fn, items) -> None:
+        super().__init__(ctx, mode, traced)
+        self.fn = fn
+        self.items = items
+
+    def _args(self, i: int, fault):
+        kind = fault.kind if fault is not None else None
+        hang = fault.hang_seconds if fault is not None else 0.0
+        return kind, hang, self.traced, self.fn, self.items[i]
+
+    def submit(self, i: int, fault):
+        return self._pool().submit(_chaos.run_task, *self._args(i, fault))
+
+    def run_inline(self, i: int, fault):
+        return _chaos.run_task(*self._args(i, fault))
+
+
+class _BatchRunner(_RunnerBase):
+    """Rung executing ``worker(graph, batch, payload)`` tasks.
+
+    On the process rung the graph crosses the boundary as a shared-
+    memory spec; if segment allocation fails up front, or a worker
+    reports :class:`~repro.errors.ShmAttachError`, the handoff degrades
+    to pickling the graph per task (``disable_shm``).
+    """
+
+    def __init__(self, ctx, mode, traced, worker, graph, batches, payload):
+        super().__init__(ctx, mode, traced)
+        self.worker = worker
+        self.graph = graph
+        self.batches = batches
+        self.payload = payload
+        self.use_shm = False
+        self.spec = None
+        if mode == "process":
+            try:
+                self.spec = ctx._shared_graph(graph).spec
+                self.use_shm = True
+            except Exception:
+                # Allocation failed: fall back to pickled graph handoff.
+                ctx.pool.shm_fallbacks += 1
+
+    def _fault_args(self, fault):
+        if fault is None:
+            return None, 0.0
+        return fault.kind, fault.hang_seconds
+
+    def submit(self, i: int, fault):
+        kind, hang = self._fault_args(fault)
+        batch = self.batches[i]
+        if self.mode == "process" and self.use_shm:
+            return self._pool().submit(
+                _chaos.run_shm_batch, kind, hang, self.traced,
+                self.spec, self.worker, batch, self.payload,
+            )
+        return self._pool().submit(
+            _chaos.run_local_batch, kind, hang, self.traced,
+            self.worker, self.graph, batch, self.payload,
+        )
+
+    def run_inline(self, i: int, fault):
+        kind, hang = self._fault_args(fault)
+        return _chaos.run_local_batch(
+            kind, hang, self.traced,
+            self.worker, self.graph, self.batches[i], self.payload,
+        )
+
+    def disable_shm(self) -> bool:
+        if self.mode == "process" and self.use_shm:
+            self.use_shm = False
+            return True
+        return False
+
+
 class ParallelContext:
     """Execution context carrying worker count and instrumentation."""
 
@@ -153,6 +306,8 @@ class ParallelContext:
         backend: Optional[str] = None,
         machine: Optional[MachineModel] = None,
         trace=None,
+        fault_policy: Optional[FaultPolicy] = None,
+        chaos=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -168,6 +323,11 @@ class ParallelContext:
         self.cost = CostModel(machine)
         self.sync = SyncCounters()
         self.pool = PoolStats()
+        # Resilience: with both unset, map/map_batches take the original
+        # fast paths and none of repro.parallel.resilience runs.
+        self.fault_policy = fault_policy
+        self.chaos = chaos
+        self._dispatch_seq = 0
         # ``trace=None`` means "follow the ambient tracer" — resolved at
         # use time so a context created before tracing was installed
         # still records.  An explicit tracer pins it.
@@ -286,16 +446,40 @@ class ParallelContext:
         return entry[1]
 
     def close(self) -> None:
-        """Release the persistent pools and any shared graph segments."""
-        if self._thread_pool is not None:
-            self._thread_pool.shutdown(wait=True)
-            self._thread_pool = None
-        if self._process_pool is not None:
-            self._process_pool.shutdown(wait=True)
-            self._process_pool = None
-        for _, shared in self._shared_graphs.values():
-            shared.close()
+        """Release the persistent pools and any shared graph segments.
+
+        Never raises — safe to call from ``__exit__`` even after a
+        broken pool or an interrupted dispatch.  Cleanup failures are
+        reported as :class:`ResourceWarning`\\ s naming the resource
+        instead of being swallowed.
+        """
+        problems: list[str] = []
+        # getattr defaults guard a context whose __init__ raised before
+        # the pool attributes existed.
+        for attr in ("_thread_pool", "_process_pool"):
+            pool = getattr(self, attr, None)
+            if pool is None:
+                continue
+            setattr(self, attr, None)
+            try:
+                pool.shutdown(wait=True)
+            except Exception as exc:
+                problems.append(f"{attr.lstrip('_')} shutdown failed: {exc!r}")
+        for _, shared in list(getattr(self, "_shared_graphs", {}).values()):
+            try:
+                shared.close()
+            except Exception as exc:
+                problems.append(
+                    f"shared segment {shared.spec.shm_name!r} "
+                    f"close failed: {exc!r}"
+                )
         self._shared_graphs.clear()
+        if problems:
+            warnings.warn(
+                "ParallelContext.close: " + "; ".join(problems),
+                ResourceWarning,
+                stacklevel=2,
+            )
 
     def __enter__(self) -> "ParallelContext":
         return self
@@ -304,6 +488,23 @@ class ParallelContext:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - gc timing dependent
+        leaked: list[str] = []
+        if getattr(self, "_thread_pool", None) is not None:
+            leaked.append("thread pool")
+        if getattr(self, "_process_pool", None) is not None:
+            leaked.append("process pool")
+        leaked.extend(
+            f"shared segment {shared.spec.shm_name!r}"
+            for _, shared in getattr(self, "_shared_graphs", {}).values()
+        )
+        if leaked:
+            warnings.warn(
+                f"unclosed ParallelContext(backend={self.backend!r}) "
+                f"leaked {', '.join(leaked)}; call close() or use a "
+                f"with-block",
+                ResourceWarning,
+                stacklevel=2,
+            )
         try:
             self.close()
         except Exception:
@@ -341,6 +542,8 @@ class ParallelContext:
             self.phase(float(cost_arr.sum()), float(cost_arr.max()))
         self.pool.map_calls += 1
         self.pool.tasks_dispatched += len(items)
+        if self.fault_policy is not None or self.chaos is not None:
+            return self._map_resilient(fn, items)
         use_pool = (
             self.backend != "serial" and self.n_workers > 1 and len(items) > 1
         )
@@ -432,6 +635,8 @@ class ParallelContext:
         self.pool.batch_calls += 1
         self.pool.batches_dispatched += len(batches)
         self.pool.lanes_dispatched += int(sum(len(b) for b in batches))
+        if self.fault_policy is not None or self.chaos is not None:
+            return self._batches_resilient(worker, graph, batches, payload)
         tr = self.tracer
         if not tr:
             if self.backend == "process":
@@ -510,6 +715,89 @@ class ParallelContext:
                 ),
             )
             return [out for out, _ in pairs]
+
+    # ------------------------------------------------------------------
+    # Fault-tolerant dispatch (active when fault_policy or chaos is set;
+    # see repro.parallel.resilience for the driver itself)
+    # ------------------------------------------------------------------
+    def _map_ladder(self, fn: Callable, n_items: int) -> tuple[str, ...]:
+        """Degradation rungs for a ``map`` call, best first.
+
+        Mirrors the fast path's routing: serial when pooling would not
+        help, thread instead of process for closures that do not pickle
+        by reference.
+        """
+        if self.backend == "serial" or self.n_workers <= 1 or n_items <= 1:
+            return ("serial",)
+        if self.backend == "process" and _picklable_by_reference(fn):
+            return ("process", "thread", "serial")
+        return ("thread", "serial")
+
+    def _batch_ladder(self, worker: Callable, n_batches: int) -> tuple[str, ...]:
+        """Degradation rungs for a ``map_batches`` call, best first."""
+        if self.backend == "process":
+            if not _picklable_by_reference(worker):
+                raise ValueError(
+                    "process backend requires a module-level worker function"
+                )
+            return ("process", "thread", "serial")
+        if self.backend == "thread" and self.n_workers > 1 and n_batches > 1:
+            return ("thread", "serial")
+        return ("serial",)
+
+    def _drive_resilient(self, span_name, n_tasks, make_runner, ladder):
+        """Run the resilient driver, traced or not, grafting sub-trees."""
+        call_index = self._dispatch_seq
+        self._dispatch_seq += 1
+        tr = self.tracer
+        if not tr:
+            return _resilience.drive(
+                self, n_tasks, lambda mode: make_runner(mode, False),
+                ladder, call_index=call_index,
+            )
+        key = "index" if span_name == "map" else "batch_index"
+        with tr.span(
+            span_name, backend=self.backend,
+            **{"n_tasks" if span_name == "map" else "n_batches": n_tasks},
+            n_workers=self.n_workers,
+        ) as sp:
+            t0 = time.perf_counter()
+            pairs = _resilience.drive(
+                self, n_tasks, lambda mode: make_runner(mode, True),
+                ladder, call_index=call_index,
+            )
+            elapsed = time.perf_counter() - t0
+            busy = 0.0
+            for i, (_, span_dict) in enumerate(pairs):
+                tr.graft(span_dict, **{key: i})
+                busy += span_dict.get("duration_s", 0.0)
+            self.pool.busy_seconds += busy
+            self.pool.elapsed_seconds += elapsed
+            sp.set(
+                busy_seconds=round(busy, 6),
+                utilization=round(
+                    min(1.0, busy / max(1e-12, elapsed * self.n_workers)), 4
+                ),
+            )
+            return [out for out, _ in pairs]
+
+    def _map_resilient(self, fn: Callable, items: list) -> list:
+        return self._drive_resilient(
+            "map",
+            len(items),
+            lambda mode, traced: _MapRunner(self, mode, traced, fn, items),
+            self._map_ladder(fn, len(items)),
+        )
+
+    def _batches_resilient(self, worker, graph, batches, payload) -> list:
+        return self._drive_resilient(
+            "map_batches",
+            len(batches),
+            lambda mode, traced: _BatchRunner(
+                self, mode, traced, worker, graph, batches, payload
+            ),
+            self._batch_ladder(worker, len(batches)),
+        )
 
     # ------------------------------------------------------------------
     def modeled_time(self, p: Optional[int] = None) -> float:

@@ -17,12 +17,14 @@ Attached graphs alias shared mutable memory; treat them as read-only
 
 from __future__ import annotations
 
+import atexit
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 from typing import Optional
 
 import numpy as np
 
+from repro.errors import ShmAttachError
 from repro.graph.csr import Graph
 
 # Field pack order inside the segment (all 8-byte dtypes, so
@@ -44,12 +46,37 @@ class GraphSpec:
     layout: tuple[tuple[str, int, int, str], ...]
 
 
+# Registry of every parent-side segment still alive in this process.
+# A crashed worker, a KeyboardInterrupt mid-dispatch or a leaked
+# ParallelContext must not strand segments in /dev/shm: whatever is
+# still registered at interpreter exit is swept by ``_sweep_leaked``.
+_LIVE_SEGMENTS: dict[str, "SharedGraph"] = {}
+
+
+def live_segment_names() -> tuple[str, ...]:
+    """Names of parent-owned shared segments not yet closed."""
+    return tuple(_LIVE_SEGMENTS)
+
+
+def _sweep_leaked() -> int:
+    """Close every still-registered segment; returns how many it swept."""
+    leaked = list(_LIVE_SEGMENTS.values())
+    for seg in leaked:
+        seg.close()
+    return len(leaked)
+
+
+atexit.register(_sweep_leaked)
+
+
 class SharedGraph:
     """Parent-side handle owning a shared graph segment.
 
     ``spec`` is what crosses the process boundary.  The parent unlinks
     the segment when done (workers only map it); both operations are
-    idempotent here.
+    idempotent here — double-``close`` is a no-op, and every live
+    handle is tracked in a registry swept at interpreter exit so a
+    crash between creation and cleanup cannot leak ``/dev/shm``.
     """
 
     def __init__(
@@ -61,6 +88,7 @@ class SharedGraph:
         self.shm: Optional[shared_memory.SharedMemory] = shm
         self.spec = spec
         self.nbytes = int(nbytes)
+        _LIVE_SEGMENTS[spec.shm_name] = self
 
     def close(self) -> None:
         """Unmap and unlink the segment (parent-side cleanup)."""
@@ -76,6 +104,7 @@ class SharedGraph:
         except (FileNotFoundError, OSError):  # already gone
             pass
         self.shm = None
+        _LIVE_SEGMENTS.pop(self.spec.shm_name, None)
 
 
 def share_graph(graph: Graph) -> SharedGraph:
@@ -96,7 +125,12 @@ def share_graph(graph: Graph) -> SharedGraph:
         a = arrays[name]
         layout.append((name, nbytes, int(a.shape[0]), a.dtype.str))
         nbytes += a.nbytes
-    shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+    except OSError as exc:  # /dev/shm full or unavailable
+        raise ShmAttachError(
+            f"could not allocate a {nbytes}-byte shared segment: {exc}"
+        ) from exc
     for name, off, length, dt in layout:
         view = np.ndarray((length,), dtype=np.dtype(dt), buffer=shm.buf, offset=off)
         view[:] = arrays[name]
@@ -122,7 +156,14 @@ def attach_graph(spec: GraphSpec, *, cache: bool = True) -> Graph:
     """
     if cache and spec.shm_name in _ATTACHED:
         return _ATTACHED[spec.shm_name][1]
-    shm = shared_memory.SharedMemory(name=spec.shm_name, create=False)
+    try:
+        shm = shared_memory.SharedMemory(name=spec.shm_name, create=False)
+    except (FileNotFoundError, OSError) as exc:
+        # Classified so the fault-tolerant dispatcher can fall back to
+        # pickled graph handoff instead of aborting the run.
+        raise ShmAttachError(
+            f"could not attach shared segment {spec.shm_name!r}: {exc}"
+        ) from exc
     # Note on cleanup: CPython's resource tracker also registers
     # *attachments* (bpo-38119), but pool workers are forked children
     # sharing the parent's tracker process, whose name cache is a set —

@@ -635,15 +635,21 @@ class Report:
     elapsed_seconds: float = 0.0
     backends: tuple = BACKENDS
     representations: tuple = REPRESENTATIONS
+    faults_injected: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.failures
 
     def summary(self) -> str:
+        chaos = (
+            f" chaos_faults={self.faults_injected}"
+            if self.faults_injected
+            else ""
+        )
         lines = [
             f"differential check: seed={self.seed} graphs={self.n_graphs} "
-            f"runs={self.n_runs} failures={len(self.failures)} "
+            f"runs={self.n_runs} failures={len(self.failures)}{chaos} "
             f"[{self.elapsed_seconds:.1f}s]"
         ]
         lines += [f"  FAIL {f.summary()}" for f in self.failures]
@@ -770,6 +776,7 @@ def run_differential(
     checks: Optional[Sequence[str]] = None,
     n_workers: int = 2,
     fault: Optional[str] = None,
+    chaos: "bool | float" = False,
     artifact_dir: Optional[Path] = DEFAULT_ARTIFACT_DIR,
     shrink_failures: bool = True,
     max_failures: int = 10,
@@ -779,9 +786,15 @@ def run_differential(
     ``budget`` is a soft wall-clock limit in seconds: the corpus loop
     stops starting new graphs once it is exceeded (every started graph
     finishes, so results are well-formed).  ``fault`` names an entry of
-    :data:`FAULTS` to corrupt on purpose.  At most ``max_failures``
-    failures are collected (then the run short-circuits); each failure
-    is shrunk and dumped under ``artifact_dir`` unless disabled.
+    :data:`FAULTS` to corrupt on purpose.  ``chaos`` arms the seeded
+    :class:`~repro.parallel.chaos.ChaosMonkey` on every backend context
+    (``True`` = default 5% fault rate, a float = that rate), so the
+    oracle comparison additionally proves that injected worker faults
+    (transient raises, hard worker exits) never change results — the
+    resilience layer must recover bit-identically.  At most
+    ``max_failures`` failures are collected (then the run
+    short-circuits); each failure is shrunk and dumped under
+    ``artifact_dir`` unless disabled.
     """
     t0 = time.perf_counter()
     fault_check, fault_fn = FAULTS[fault] if fault is not None else (None, None)
@@ -797,7 +810,24 @@ def run_differential(
         backends=tuple(backends),
         representations=tuple(representations),
     )
-    ctxs = {b: ParallelContext(n_workers, backend=b) for b in backends}
+
+    def _make_ctx(backend: str) -> ParallelContext:
+        if not chaos:
+            return ParallelContext(n_workers, backend=backend)
+        from repro.parallel.chaos import ChaosMonkey
+        from repro.parallel.resilience import FaultPolicy
+
+        # The monkey only faults first attempts, so max_retries >= 1
+        # guarantees completion; results must still match the oracles.
+        rate = 0.05 if chaos is True else float(chaos)
+        return ParallelContext(
+            n_workers,
+            backend=backend,
+            fault_policy=FaultPolicy(max_retries=3),
+            chaos=ChaosMonkey(seed=seed, rate=rate, kinds=("raise", "exit")),
+        )
+
+    ctxs = {b: _make_ctx(b) for b in backends}
     try:
         for item in corpus(seed, n_graphs):
             if budget is not None and time.perf_counter() - t0 > budget:
@@ -858,6 +888,7 @@ def run_differential(
                     break
     finally:
         for ctx in ctxs.values():
+            report.faults_injected += ctx.pool.faults_injected
             ctx.close()
     report.elapsed_seconds = time.perf_counter() - t0
     return report

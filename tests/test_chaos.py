@@ -1,0 +1,515 @@
+"""Fault-tolerant runtime + chaos harness tests.
+
+The contract under test everywhere: with a :class:`FaultPolicy` armed
+and deterministic faults injected (transient raises, hung tasks, hard
+worker exits, shm attach failures), every dispatch completes with
+results **bit-identical** to the fault-free run, every recovery action
+is counted on ``PoolStats``, and no pool, future or ``/dev/shm``
+segment outlives the context.
+
+The tier-1 subset here exercises one representative of each recovery
+path; the exhaustive fault x backend x crash-mode matrix is marked
+``chaos_full`` (excluded from tier-1, select with ``-m chaos_full``).
+"""
+
+from __future__ import annotations
+
+import _thread
+import os
+import threading
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import (
+    PhaseDeadlineExceeded,
+    RetryExhausted,
+    TaskTimeout,
+    TransientWorkerError,
+    WorkerCrashError,
+)
+from repro.graph import from_edge_list
+from repro.parallel import (
+    ChaosMonkey,
+    ChaosPlan,
+    Fault,
+    FaultPolicy,
+    ParallelContext,
+    live_segment_names,
+)
+
+
+def _double(x):
+    return 2 * x
+
+
+def _degrees(graph, batch, payload):
+    return np.asarray([graph.degree(int(v)) for v in batch])
+
+
+def _small_graph():
+    return from_edge_list([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 0)])
+
+
+def _batches():
+    return [np.array([0, 1]), np.array([2]), np.array([3, 4])]
+
+
+def _expected_degrees(graph, batches):
+    return [
+        np.asarray([graph.degree(int(v)) for v in b]) for b in batches
+    ]
+
+
+def _shm_entries():
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # non-Linux
+        return set()
+
+
+# ---------------------------------------------------------------------------
+# Policy / planner units
+# ---------------------------------------------------------------------------
+class TestFaultPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(on_worker_crash="panic")
+        with pytest.raises(ValueError):
+            FaultPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            FaultPolicy(task_timeout=0.0)
+        with pytest.raises(ValueError):
+            FaultPolicy(jitter=1.5)
+
+    def test_backoff_bounded_and_seeded(self):
+        import random
+
+        p = FaultPolicy(backoff_base=0.01, backoff_max=0.05, jitter=0.25)
+        a = [p.backoff_seconds(r, random.Random(7)) for r in range(10)]
+        b = [p.backoff_seconds(r, random.Random(7)) for r in range(10)]
+        assert a == b  # deterministic under a fixed rng
+        assert all(0.0 <= x <= 0.05 * 1.25 for x in a)
+
+    def test_transient_classification(self):
+        p = FaultPolicy(transient_types=(OSError,))
+        assert p.is_transient(TransientWorkerError("x"))
+        assert p.is_transient(WorkerCrashError("x"))
+        assert p.is_transient(OSError("x"))
+        assert not p.is_transient(ValueError("x"))
+
+
+class TestPlanners:
+    def test_fault_validation(self):
+        with pytest.raises(ValueError):
+            Fault("meteor")
+        with pytest.raises(ValueError):
+            Fault("raise", times=0)
+
+    def test_plan_fires_bounded_times(self):
+        plan = ChaosPlan([Fault("raise", task_index=1, times=2)])
+        hits = [
+            plan.fault_for(0, 1, attempt) for attempt in range(4)
+        ]
+        assert [h is not None for h in hits] == [True, True, False, False]
+        assert plan.n_fired == 2
+        plan.reset()
+        assert plan.fault_for(0, 1, 0) is not None
+
+    def test_plan_call_pinning(self):
+        plan = ChaosPlan([Fault("raise", task_index=0, call_index=3)])
+        assert plan.fault_for(2, 0, 0) is None
+        assert plan.fault_for(3, 0, 0) is not None
+
+    def test_monkey_deterministic_and_first_attempt_only(self):
+        m1 = ChaosMonkey(seed=5, rate=0.5)
+        m2 = ChaosMonkey(seed=5, rate=0.5)
+        d1 = [m1.fault_for(0, i, 0) is not None for i in range(64)]
+        d2 = [m2.fault_for(0, i, 0) is not None for i in range(64)]
+        assert d1 == d2
+        assert any(d1) and not all(d1)
+        assert all(
+            ChaosMonkey(seed=5, rate=1.0).fault_for(0, i, 1) is None
+            for i in range(8)
+        )
+        assert not any(
+            ChaosMonkey(seed=5, rate=0.0).fault_for(0, i, 0)
+            for i in range(8)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Recovery paths (tier-1 smoke, one representative each)
+# ---------------------------------------------------------------------------
+class TestRecovery:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("kind", ["raise", "exit"])
+    def test_map_recovers_transients(self, backend, kind):
+        with ParallelContext(
+            2, backend=backend,
+            fault_policy=FaultPolicy(),
+            chaos=ChaosPlan([Fault(kind, task_index=1)]),
+        ) as ctx:
+            out = ctx.map(_double, [1, 2, 3, 4])
+            assert out == [2, 4, 6, 8]
+            assert ctx.pool.faults_injected == 1
+            if kind == "raise":
+                assert ctx.pool.retries >= 1
+            else:
+                assert ctx.pool.worker_crashes >= 1
+
+    def test_hang_detected_by_timeout(self):
+        g = _small_graph()
+        with ParallelContext(
+            2, backend="thread",
+            fault_policy=FaultPolicy(task_timeout=0.2),
+            chaos=ChaosPlan([Fault("hang", task_index=0, hang_seconds=5.0)]),
+        ) as ctx:
+            t0 = time.monotonic()
+            out = ctx.map_batches(_degrees, g, _batches())
+            assert time.monotonic() - t0 < 4.0  # did not wait out the hang
+            for got, exp in zip(out, _expected_degrees(g, _batches())):
+                assert np.array_equal(got, exp)
+            assert ctx.pool.task_timeouts >= 1
+            assert ctx.pool.pool_rebuilds >= 1
+
+    def test_timeout_without_retry_raises(self):
+        with ParallelContext(
+            2, backend="thread",
+            fault_policy=FaultPolicy(task_timeout=0.1, retry_timeouts=False),
+            chaos=ChaosPlan([Fault("hang", task_index=0, hang_seconds=3.0)]),
+        ) as ctx:
+            with pytest.raises(TaskTimeout):
+                ctx.map(_double, [1, 2, 3])
+
+    def test_phase_deadline_is_terminal(self):
+        with ParallelContext(
+            2, backend="thread",
+            fault_policy=FaultPolicy(phase_deadline=0.15),
+            chaos=ChaosPlan(
+                [Fault("hang", task_index=0, hang_seconds=3.0, times=5)]
+            ),
+        ) as ctx:
+            with pytest.raises(PhaseDeadlineExceeded):
+                ctx.map(_double, [1, 2, 3])
+
+    def test_shm_attach_falls_back_to_pickle(self):
+        g = _small_graph()
+        with ParallelContext(
+            2, backend="process",
+            fault_policy=FaultPolicy(),
+            chaos=ChaosPlan([Fault("shm", task_index=1)]),
+        ) as ctx:
+            out = ctx.map_batches(_degrees, g, _batches())
+            for got, exp in zip(out, _expected_degrees(g, _batches())):
+                assert np.array_equal(got, exp)
+            assert ctx.pool.shm_fallbacks >= 1
+
+    def test_degradation_ladder_steps_down(self):
+        g = _small_graph()
+        with ParallelContext(
+            2, backend="process",
+            fault_policy=FaultPolicy(on_worker_crash="degrade"),
+            chaos=ChaosPlan([Fault("exit", task_index=0, times=2)]),
+        ) as ctx:
+            out = ctx.map_batches(_degrees, g, _batches())
+            for got, exp in zip(out, _expected_degrees(g, _batches())):
+                assert np.array_equal(got, exp)
+            assert ctx.pool.degradations >= 1
+
+    def test_crash_mode_raise_propagates(self):
+        with ParallelContext(
+            2, backend="thread",
+            fault_policy=FaultPolicy(on_worker_crash="raise"),
+            chaos=ChaosPlan([Fault("exit", task_index=0)]),
+        ) as ctx:
+            with pytest.raises(WorkerCrashError):
+                ctx.map(_double, [1, 2, 3])
+
+    def test_retry_budget_exhausts(self):
+        with ParallelContext(
+            1, backend="serial",
+            fault_policy=FaultPolicy(max_retries=2),
+            chaos=ChaosPlan([Fault("raise", task_index=0, times=50)]),
+        ) as ctx:
+            with pytest.raises(RetryExhausted):
+                ctx.map(_double, [1, 2])
+
+    def test_nontransient_error_propagates_unretried(self):
+        def boom(x):
+            raise ValueError("task bug")
+
+        with ParallelContext(
+            2, backend="thread", fault_policy=FaultPolicy()
+        ) as ctx:
+            with pytest.raises(ValueError, match="task bug"):
+                ctx.map(boom, [1, 2])
+            assert ctx.pool.retries == 0
+
+    def test_fast_path_untouched_without_policy(self, monkeypatch):
+        # The no-policy, no-chaos path must never enter the resilient
+        # driver — this is the structural form of the overhead gate.
+        monkeypatch.setattr(
+            ParallelContext,
+            "_map_resilient",
+            lambda *a, **k: pytest.fail("resilient path entered"),
+        )
+        with ParallelContext(2, backend="thread") as ctx:
+            assert ctx.map(_double, [1, 2, 3]) == [2, 4, 6]
+
+
+class TestObservability:
+    def test_fault_events_and_counters_surface(self):
+        g = repro.generators.rmat(
+            6, 8, rng=np.random.default_rng(0)
+        ).as_undirected()
+        baseline = repro.run(
+            "betweenness", g, backend="thread", n_workers=2, trace=False
+        ).value
+        plan = ChaosPlan([Fault("raise", task_index=0)])
+        res = repro.run(
+            "betweenness", g, backend="thread", n_workers=2,
+            fault_policy=FaultPolicy(), chaos=plan,
+        )
+        assert np.array_equal(baseline, res.value)  # bit-identical
+        assert plan.n_fired == 1
+        names = []
+
+        def walk(span):
+            names.append(span.name)
+            for child in span.children:
+                walk(child)
+
+        walk(res.trace)
+        assert "fault.inject" in names
+        assert "fault.retry" in names
+        doc = res.to_dict()
+        assert doc["pool"]["faults_injected"] == 1
+        assert doc["pool"]["retries"] >= 1
+
+    def test_algorithm_surface_accepts_fault_policy(self):
+        g = _small_graph()
+        base = repro.betweenness_centrality(g)
+        out = repro.betweenness_centrality(
+            g, fault_policy=FaultPolicy(max_retries=1)
+        )
+        assert np.array_equal(base, out)
+        ctx = ParallelContext(2, backend="thread")
+        try:
+            repro.betweenness_centrality(g, ctx=ctx, fault_policy=FaultPolicy())
+            assert ctx.fault_policy is None  # restored after the call
+        finally:
+            ctx.close()
+
+    def test_fault_policy_rejected_without_ctx_arg(self):
+        from repro.obs.api import algorithm
+
+        @algorithm("_chaos_test_noctx", register=False)
+        def noctx(graph):
+            return 0
+
+        with pytest.raises(TypeError, match="fault_policy"):
+            noctx(_small_graph(), fault_policy=FaultPolicy())
+
+
+# ---------------------------------------------------------------------------
+# Satellite 1: no /dev/shm leakage, even across hard worker death
+# ---------------------------------------------------------------------------
+class TestShmHygiene:
+    def test_worker_death_mid_task_leaks_no_segments(self):
+        before = _shm_entries()
+        g = _small_graph()
+        ctx = ParallelContext(
+            2, backend="process",
+            fault_policy=FaultPolicy(),
+            chaos=ChaosPlan([Fault("exit", task_index=0)]),
+        )
+        try:
+            out = ctx.map_batches(_degrees, g, _batches())
+            for got, exp in zip(out, _expected_degrees(g, _batches())):
+                assert np.array_equal(got, exp)
+            assert ctx.pool.worker_crashes >= 1
+        finally:
+            ctx.close()
+        assert live_segment_names() == ()
+        assert _shm_entries() - before == set()
+
+    def test_shared_graph_double_close_idempotent(self):
+        from repro.parallel.shm import share_graph
+
+        seg = share_graph(_small_graph())
+        assert seg.spec.shm_name in live_segment_names()
+        seg.close()
+        assert seg.spec.shm_name not in live_segment_names()
+        seg.close()  # second close is a no-op
+        assert seg.shm is None
+
+
+# ---------------------------------------------------------------------------
+# Satellite 2: close()/__del__ report leaks instead of swallowing them
+# ---------------------------------------------------------------------------
+class TestLifecycleWarnings:
+    def test_del_warns_on_leaked_pool(self):
+        ctx = ParallelContext(2, backend="thread")
+        ctx.map(_double, [1, 2, 3])  # forces pool creation
+        with pytest.warns(ResourceWarning, match="unclosed ParallelContext"):
+            ctx.__del__()
+        # after the warning the context is actually closed
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ctx.__del__()
+
+    def test_close_survives_broken_pool(self):
+        ctx = ParallelContext(
+            2, backend="process",
+            fault_policy=FaultPolicy(on_worker_crash="raise"),
+            chaos=ChaosPlan([Fault("exit", task_index=0)]),
+        )
+        with pytest.raises(WorkerCrashError):
+            ctx.map(_double, [1, 2, 3])
+        ctx.close()  # must not raise or hang on the broken pool
+        ctx.close()  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# Satellite 3: KeyboardInterrupt mid-dispatch leaves nothing dangling
+# ---------------------------------------------------------------------------
+class TestKeyboardInterrupt:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_interrupt_during_map_batches(self, backend):
+        before = _shm_entries()
+        g = _small_graph()
+        hang = 1.5 if backend == "thread" else 30.0
+        ctx = ParallelContext(
+            2, backend=backend,
+            fault_policy=FaultPolicy(),
+            chaos=ChaosPlan(
+                [Fault("hang", task_index=0, hang_seconds=hang)]
+            ),
+        )
+        timer = threading.Timer(0.3, _thread.interrupt_main)
+        timer.start()
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                ctx.map_batches(_degrees, g, _batches())
+        finally:
+            timer.cancel()
+            ctx.close()
+        # pools were abandoned, segments released, nothing left behind
+        assert ctx._thread_pool is None and ctx._process_pool is None
+        assert live_segment_names() == ()
+        assert _shm_entries() - before == set()
+
+
+# ---------------------------------------------------------------------------
+# Satellite 5: chaos wiring of the differential fuzz driver
+# ---------------------------------------------------------------------------
+class TestDifferentialChaos:
+    def test_chaos_monkey_does_not_change_oracle_agreement(self):
+        from repro.qa.differential import run_differential
+
+        report = run_differential(
+            seed=3,
+            n_graphs=8,
+            checks=("bfs", "connected_sv", "betweenness"),
+            backends=("thread",),
+            representations=("csr",),
+            chaos=0.5,  # high rate so the tiny smoke corpus sees faults
+            artifact_dir=None,
+            shrink_failures=False,
+        )
+        assert report.ok, report.summary()
+        assert report.faults_injected >= 1
+
+
+class TestChaosCli:
+    def test_chaos_command_matrix_green(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "chaos", "--scale", "5", "--backends", "thread",
+            "--kinds", "raise,exit", "--workers", "2",
+        ])
+        outp = capsys.readouterr().out
+        assert rc == 0
+        assert "2/2 cells recovered bit-identically" in outp
+
+    def test_backend_flags_build_policy(self):
+        from repro.cli import _fault_policy_from_args, build_parser
+
+        args = build_parser().parse_args([
+            "analyze", "x.txt", "--timeout", "1.5", "--retries", "4",
+            "--on-worker-crash", "degrade",
+        ])
+        fp = _fault_policy_from_args(args)
+        assert fp.task_timeout == 1.5
+        assert fp.max_retries == 4
+        assert fp.on_worker_crash == "degrade"
+        args = build_parser().parse_args(["analyze", "x.txt"])
+        assert _fault_policy_from_args(args) is None
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive matrix (chaos_full only)
+# ---------------------------------------------------------------------------
+@pytest.mark.chaos_full
+class TestChaosFullMatrix:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("kind", ["raise", "hang", "exit", "shm"])
+    @pytest.mark.parametrize("crash_mode", ["rebuild", "degrade"])
+    def test_full_fault_matrix_bit_identical(self, backend, kind, crash_mode):
+        g = repro.generators.rmat(
+            7, 8, rng=np.random.default_rng(1)
+        ).as_undirected()
+        baseline = repro.run(
+            "betweenness", g, backend=backend, n_workers=2, trace=False
+        ).value
+        plan = ChaosPlan([Fault(kind, task_index=0, hang_seconds=1.0)])
+        policy = FaultPolicy(
+            task_timeout=0.25 if kind == "hang" else None,
+            on_worker_crash=crash_mode,
+        )
+        res = repro.run(
+            "betweenness", g, backend=backend, n_workers=2, trace=False,
+            fault_policy=policy, chaos=plan,
+        )
+        assert plan.n_fired >= 1
+        assert np.array_equal(np.asarray(baseline), np.asarray(res.value))
+        assert live_segment_names() == ()
+
+    # The serial rung has no pool to time out or rebuild, but must
+    # still retry transient faults inline (betweenness computes inline
+    # on the serial backend, so this exercises dispatch directly).
+    @pytest.mark.parametrize("kind", ["raise", "exit", "shm"])
+    @pytest.mark.parametrize("crash_mode", ["rebuild", "degrade"])
+    def test_serial_rung_retries_inline(self, kind, crash_mode):
+        g = _small_graph()
+        plan = ChaosPlan([Fault(kind, task_index=0)])
+        with ParallelContext(
+            1, backend="serial",
+            fault_policy=FaultPolicy(on_worker_crash=crash_mode),
+            chaos=plan,
+        ) as ctx:
+            out = ctx.map_batches(_degrees, g, _batches())
+            for got, exp in zip(out, _expected_degrees(g, _batches())):
+                assert np.array_equal(got, exp)
+            assert plan.n_fired == 1
+            assert ctx.pool.retries >= 1
+
+    def test_differential_chaos_all_backends(self):
+        from repro.qa.differential import run_differential
+
+        report = run_differential(
+            seed=0,
+            n_graphs=16,
+            backends=("serial", "thread", "process"),
+            representations=("csr",),
+            chaos=True,
+            artifact_dir=None,
+            shrink_failures=False,
+        )
+        assert report.ok, report.summary()
+        assert report.faults_injected >= 1

@@ -38,6 +38,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import GraphStructureError
+from repro.kernels import _compiled, dispatch
 from repro.kernels._frontier import GraphLike, expand, expand_batch, unwrap
 from repro.kernels.bfs import _claimed_frontier, default_batch_size, source_batches
 from repro.obs.api import algorithm
@@ -217,6 +218,7 @@ def _brandes_batch(
     batch: np.ndarray,
     ctx: Optional[ParallelContext] = None,
     record_phases: bool = False,
+    tier: Optional[str] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Run ``K`` Brandes traversals simultaneously (one batch of lanes).
 
@@ -224,6 +226,13 @@ def _brandes_batch(
     and ``δ`` — and each level is one :func:`expand_batch` gather plus
     bincount scatter-adds shared by every lane, so the per-source
     Python-loop overhead collapses into one NumPy dispatch per level.
+
+    ``tier="compiled"`` routes the backward δ-accumulation — the
+    gather/multiply/double-scatter that dominates the sweep — through
+    the njit kernel; its two-phase contribution order replays numpy's
+    gather-then-``np.add.at`` sequence exactly, so δ and edge scores
+    are bit-identical (works with edge masks too: the cached σ-arcs
+    are already post-filter).
 
     Returns ``(delta, edge_partial)``: the per-lane dependency plane
     (``delta[k]`` is source ``batch[k]``'s δ vector, source entry
@@ -348,13 +357,25 @@ def _brandes_batch(
             ctx.record_phase_from_work(degs[levels[i + 1][1]])
         u_flat, v_flat, eids_c, w = sigma_arcs[i]
         sp = (
-            tr.begin("backward_level", depth=i, sigma_arcs=int(v_flat.shape[0]))
+            tr.begin(
+                "backward_level",
+                depth=i,
+                sigma_arcs=int(v_flat.shape[0]),
+                kernel_tier=tier or "numpy",
+            )
             if tr
             else None
         )
-        contrib = w * inv_sigma.take(v_flat) * (1.0 + delta_flat.take(v_flat))
-        _scatter_add(delta_flat, u_flat, contrib)
-        _scatter_add(edge_partial, eids_c, contrib)
+        if tier == "compiled":
+            contrib = np.empty(v_flat.shape[0], dtype=np.float64)
+            _compiled.brandes_accumulate(
+                u_flat, v_flat, eids_c, w, inv_sigma, delta_flat,
+                edge_partial, contrib,
+            )
+        else:
+            contrib = w * inv_sigma.take(v_flat) * (1.0 + delta_flat.take(v_flat))
+            _scatter_add(delta_flat, u_flat, contrib)
+            _scatter_add(edge_partial, eids_c, contrib)
         if sp is not None:
             tr.end(sp)
     delta[lanes0, batch] = 0.0
@@ -362,16 +383,19 @@ def _brandes_batch(
 
 
 def _brandes_batch_worker(
-    graph, batch: np.ndarray, payload: Optional[np.ndarray]
+    graph, batch: np.ndarray, payload
 ) -> tuple[np.ndarray, np.ndarray]:
     """Backend-executable unit: one source batch → partial accumulators.
 
     Module-level (picklable by reference) so
     :meth:`ParallelContext.map_batches` can ship it to process-pool
     workers, which attach the CSR arrays via shared memory.  ``payload``
-    is the optional edge-activity mask.
+    is the optional edge-activity mask, or a ``(mask, kernel_tier)``
+    tuple — the caller resolves the tier once so parity across
+    backends does not depend on worker-side environment.
     """
-    delta, edge_partial = _brandes_batch(graph, payload, batch)
+    mask, tier = payload if isinstance(payload, tuple) else (payload, None)
+    delta, edge_partial = _brandes_batch(graph, mask, batch, tier=tier)
     return delta.sum(axis=0), edge_partial
 
 
@@ -455,6 +479,7 @@ def brandes(
     elif src_list:
         batches = source_batches(src_list, _brandes_batch_size(graph, batch_size), n)
         per_traversal = float(max(1, graph.n_arcs))
+        tier = ctx.tier_for(graph.n_arcs)
         if ctx.backend == "serial":
             # In-process batched sweeps; fine granularity still records
             # per-level phases (now shared by the whole batch).  When
@@ -480,7 +505,7 @@ def brandes(
                             with tr.span("batch", lanes=int(len(b))):
                                 delta, edge_partial = _brandes_batch(
                                     graph, edge_active, b, ctx,
-                                    granularity == "fine",
+                                    granularity == "fine", tier=tier,
                                 )
                             vertex_acc += delta.sum(axis=0)
                             edge_acc += edge_partial
@@ -490,7 +515,8 @@ def brandes(
                 else:
                     for b in batches:
                         delta, edge_partial = _brandes_batch(
-                            graph, edge_active, b, ctx, granularity == "fine"
+                            graph, edge_active, b, ctx, granularity == "fine",
+                            tier=tier,
                         )
                         vertex_acc += delta.sum(axis=0)
                         edge_acc += edge_partial
@@ -501,7 +527,7 @@ def brandes(
                 _brandes_batch_worker,
                 graph,
                 batches,
-                payload=edge_active,
+                payload=(edge_active, tier),
                 costs=[per_traversal * len(b) for b in batches],
             )
             for vertex_partial, edge_partial in results:
@@ -553,3 +579,20 @@ def edge_betweenness_centrality(
 def _unit_weights(graph) -> bool:
     """True if every stored arc weight equals 1 (hop metric suffices)."""
     return graph.weights is None or bool(np.all(graph.weights == 1.0))
+
+
+def _warm_brandes_accumulate() -> None:
+    """Compile the δ-accumulation on a single 1-arc backward level."""
+    idx = np.zeros(1, dtype=np.int64)
+    f8 = np.ones(1, dtype=np.float64)
+    _compiled.brandes_accumulate(
+        idx, idx, idx, f8.copy(), f8.copy(), np.zeros(1, dtype=np.float64),
+        np.zeros(1, dtype=np.float64), np.empty(1, dtype=np.float64),
+    )
+
+
+dispatch.register(
+    "brandes_accumulate",
+    compiled_fn=_compiled.brandes_accumulate,
+    warmup=_warm_brandes_accumulate,
+)

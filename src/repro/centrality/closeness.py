@@ -30,10 +30,13 @@ def _closeness_batch_worker(graph, batch, payload):
     """One source batch → per-lane ``(reached_count, distance_total)``.
 
     Module-level so the process backend can ship it by reference; the
-    payload is the optional edge-activity mask.
+    payload is the optional edge-activity mask, or a
+    ``(mask, kernel_tier)`` tuple — the caller resolves the tier once
+    so every worker traverses on the same tier.
     """
-    g: GraphLike = graph if payload is None else EdgeSubsetView(graph, payload)
-    dist = msbfs(g, batch).distances
+    mask, tier = payload if isinstance(payload, tuple) else (payload, None)
+    g: GraphLike = graph if mask is None else EdgeSubsetView(graph, mask)
+    dist = msbfs(g, batch, kernel_tier=tier).distances
     reached = dist >= 0
     r = reached.sum(axis=1)
     total = np.where(reached, dist, 0).sum(axis=1).astype(np.float64)
@@ -94,11 +97,12 @@ def closeness_centrality(
     else:
         base, mask = graph, edge_active
     batches = source_batches(src_list, batch_size, n)
+    tier = ctx.tier_for(graph.n_arcs)
     results = ctx.map_batches(
         _closeness_batch_worker,
         base,
         batches,
-        payload=mask,
+        payload=(mask, tier),
         costs=[per_traversal * len(b) for b in batches],
     )
     for batch, (r, total) in zip(batches, results):

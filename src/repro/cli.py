@@ -104,6 +104,7 @@ def _make_ctx(args: argparse.Namespace, tracer=None) -> ParallelContext:
         backend=getattr(args, "backend", None) or "serial",
         trace=tracer,
         fault_policy=_fault_policy_from_args(args),
+        kernel_tier=getattr(args, "kernel_tier", None),
     )
 
 
@@ -269,11 +270,18 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         )
         return 2
     print(f"graph: {g}  ({source})")
+    if args.kernel_tier != "numpy":
+        # Pay the JIT cost up front so the profiled runs measure only
+        # steady-state kernel time (no-op without numba).
+        from repro.kernels import dispatch as _kdispatch
+
+        _kdispatch.warmup()
     doc: dict = {
         "graph": {"source": source, "n_vertices": g.n_vertices,
                   "n_edges": g.n_edges},
         "backend": args.backend or "serial",
         "n_workers": args.workers,
+        "kernel_tier": args.kernel_tier or "auto",
         "runs": {},
     }
     for name in names:
@@ -281,7 +289,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         operands = (args.k,) if name == "multilevel_kway" else ()
         res = obs_run(
             name, g, *operands,
-            backend=args.backend, n_workers=args.workers, **kwargs,
+            backend=args.backend, n_workers=args.workers,
+            kernel_tier=args.kernel_tier, **kwargs,
         )
         doc["runs"][name] = res.to_dict()
         util = res.pool.utilization(res.n_workers)
@@ -331,6 +340,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         chaos=args.chaos,
         artifact_dir=artifact_dir,
         shrink_failures=not args.no_shrink,
+        kernel_tier=args.kernel_tier,
     )
     print(report.summary())
     for f in report.failures:
@@ -462,6 +472,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["rebuild", "degrade", "raise"],
                        help="crash response: rebuild the pool, degrade "
                             "process->thread->serial, or raise")
+        p.add_argument("--kernel-tier", default=None,
+                       choices=["auto", "numpy", "compiled"],
+                       help="kernel tier: numpy reference, numba-"
+                            "compiled, or size-based auto (default)")
 
     p = sub.add_parser("analyze", help="exploratory network analysis")
     p.add_argument("graph")
@@ -511,6 +525,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=["serial", "thread", "process"],
                    default=None)
     p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--kernel-tier", default=None,
+                   choices=["auto", "numpy", "compiled"],
+                   help="kernel tier: numpy reference, numba-compiled, "
+                        "or size-based auto (default)")
     p.add_argument("--max-depth", type=int, default=6,
                    help="flame summary depth")
     p.add_argument("-o", "--output", default="profile.json")
@@ -547,6 +565,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="do not write reproducer files")
     p.add_argument("--no-shrink", action="store_true",
                    help="report failures without minimizing them")
+    p.add_argument("--kernel-tier", default=None,
+                   choices=["auto", "numpy", "compiled"],
+                   help="kernel tier to pin the checked contexts to "
+                        "(compiled kernels vs pure-Python oracles)")
     p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser(

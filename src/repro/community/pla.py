@@ -51,6 +51,7 @@ from repro.community.result import ClusteringResult
 from repro.errors import ClusteringError, GraphStructureError
 from repro.graph.builder import contract
 from repro.graph.csr import Graph
+from repro.kernels import _compiled, dispatch
 from repro.kernels.biconnected import biconnected_components
 from repro.kernels.connected import connected_components
 from repro.kernels.segments import group_offsets, segment_argmax, segment_sums
@@ -308,37 +309,29 @@ def _vertex_strengths(graph: Graph) -> np.ndarray:
     return np.bincount(graph.arc_sources(), weights=w, minlength=graph.n_vertices)
 
 
-def _sweep_once(
-    graph: Graph,
+def _best_moves_numpy(
     labels: np.ndarray,
     strength_v: np.ndarray,
+    S: np.ndarray,
     W: float,
-    q: float,
     src: np.ndarray,
     tgt: np.ndarray,
     w: np.ndarray,
-) -> tuple[np.ndarray, float, int]:
-    """One synchronized local-moving sweep; returns (labels, q, n_moved).
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reference best-move scan: one lexsort + segmented sums/argmax.
 
-    Every vertex's best adjacent cluster by exact ΔQ is found in one
-    grouped pass (lexsort + segmented sums/argmax); moves are applied
-    under a monotone guard — the highest-gain prefix whose *joint*
-    application increases Q (binary back-off; the single best mover has
-    exactly its computed gain, so progress is guaranteed while any
-    positive-gain move exists).
+    Returns ``(vid, best_lab, best_gain)`` — one row per distinct source
+    vertex, ``best_lab = -1`` (gain ``-inf``) when the vertex has no
+    cross-label candidate.
     """
-    n = graph.n_vertices
-    if src.shape[0] == 0:
-        return labels, q, 0
-    S = np.bincount(labels, weights=strength_v, minlength=n)
-
+    n = strength_v.shape[0]
     nl = labels[tgt]
     order = np.lexsort((nl, src))
     s_o, l_o, w_o = src[order], nl[order], w[order]
     goffs = group_offsets(s_o, l_o)
     firsts = goffs[:-1]
     gsrc, glab = s_o[firsts], l_o[firsts]
-    gsum = segment_sums(w_o, goffs)
+    gsum = segment_sums(w_o, goffs, tier="numpy")
 
     own = labels[gsrc] == glab
     w_own = np.zeros(n, dtype=np.float64)
@@ -351,10 +344,84 @@ def _sweep_once(
     # Per-vertex best group: groups are (vertex, label)-sorted, so the
     # first-index tie-break lands on the smallest candidate label.
     voffs = group_offsets(gsrc)
-    arg = segment_argmax(score, voffs)
+    arg = segment_argmax(score, voffs, tier="numpy")
     best_gain = score[arg]
     best_lab = glab[arg]
     vid = gsrc[voffs[:-1]]
+    # A vertex whose neighbors all share its label argmaxes onto an
+    # own-label (-inf) group; normalize to the compiled tier's -1
+    # sentinel (such rows never pass the movers filter either way).
+    best_lab = np.where(best_gain == -np.inf, -1, best_lab)
+    return vid, best_lab, best_gain
+
+
+def _best_moves_compiled(
+    labels: np.ndarray,
+    strength_v: np.ndarray,
+    S: np.ndarray,
+    W: float,
+    src: np.ndarray,
+    tgt: np.ndarray,
+    w: np.ndarray,
+):
+    """Compiled best-move scan: one run-walking pass over the CSR arcs.
+
+    Requires ``src`` nondecreasing (CSR arc order — what
+    :func:`_loopless_arcs` yields); declines otherwise and the dispatch
+    layer falls through to the numpy reference.
+    """
+    m = src.shape[0]
+    if m and bool(np.any(src[1:] < src[:-1])):
+        return NotImplemented
+    n = strength_v.shape[0]
+    nlab = S.shape[0]
+    vid = np.empty(n, dtype=np.int64)
+    best_lab = np.empty(n, dtype=np.int64)
+    best_gain = np.empty(n, dtype=np.float64)
+    acc = np.zeros(nlab, dtype=np.float64)
+    mark = np.full(nlab, -1, dtype=np.int64)
+    touched = np.empty(nlab, dtype=np.int64)
+    cnt = _compiled.sweep_best_moves(
+        src, tgt, np.asarray(w, dtype=np.float64), labels,
+        np.asarray(strength_v, dtype=np.float64),
+        np.asarray(S, dtype=np.float64), W,
+        acc, mark, touched, vid, best_lab, best_gain,
+    )
+    return vid[:cnt], best_lab[:cnt], best_gain[:cnt]
+
+
+def _sweep_once(
+    graph: Graph,
+    labels: np.ndarray,
+    strength_v: np.ndarray,
+    W: float,
+    q: float,
+    src: np.ndarray,
+    tgt: np.ndarray,
+    w: np.ndarray,
+    tier: Optional[str] = None,
+) -> tuple[np.ndarray, float, int]:
+    """One synchronized local-moving sweep; returns (labels, q, n_moved).
+
+    Every vertex's best adjacent cluster by exact ΔQ is found in one
+    grouped pass (lexsort + segmented sums/argmax on the numpy tier, a
+    single run-walking njit pass on the compiled tier — same arc
+    order, same ΔQ parenthesization, same tie-breaks, so the chosen
+    moves are identical); moves are applied under a monotone guard —
+    the highest-gain prefix whose *joint* application increases Q
+    (binary back-off; the single best mover has exactly its computed
+    gain, so progress is guaranteed while any positive-gain move
+    exists).
+    """
+    n = graph.n_vertices
+    if src.shape[0] == 0:
+        return labels, q, 0
+    S = np.bincount(labels, weights=strength_v, minlength=n)
+
+    vid, best_lab, best_gain = dispatch.call(
+        "pla_sweep", labels, strength_v, S, W, src, tgt, w,
+        tier=tier, size=src.shape[0],
+    )
 
     movers = np.nonzero(best_gain > 1e-12)[0]
     if movers.shape[0] == 0:
@@ -400,13 +467,18 @@ def _local_moving_refinement(
     degs = graph.degrees()
     max_deg = float(degs.max()) if n else 1.0
     tr = ctx.tracer
+    tier = ctx.tier_for(graph.n_arcs)
     q = modularity(graph, labels)
     for _ in range(max_passes):
         ctx.cost.region()
         ctx.phase(float(max(1, graph.n_arcs)), max(1.0, max_deg))
-        with (tr.span("sweep", n_vertices=n) if tr else _noop()):
+        with (
+            tr.span("sweep", n_vertices=n, kernel_tier=tier)
+            if tr
+            else _noop()
+        ):
             labels, q, moved = _sweep_once(
-                graph, labels, strength_v, W, q, src, tgt, w
+                graph, labels, strength_v, W, q, src, tgt, w, tier=tier
             )
         ctx.cas(moved)
         if moved == 0:
@@ -440,16 +512,22 @@ def _multilevel_pla(
             q = modularity(g, labels_g)
             degs = g.degrees()
             max_deg = float(degs.max()) if g.n_vertices else 1.0
+            tier = ctx.tier_for(g.n_arcs)
             for _ in range(max_passes):
                 ctx.cost.region()
                 ctx.phase(float(max(1, g.n_arcs)), max(1.0, max_deg))
                 with (
-                    tr.span("sweep", level=len(level_maps), n_vertices=g.n_vertices)
+                    tr.span(
+                        "sweep",
+                        level=len(level_maps),
+                        n_vertices=g.n_vertices,
+                        kernel_tier=tier,
+                    )
                     if tr
                     else _noop()
                 ):
                     labels_g, q, moved = _sweep_once(
-                        g, labels_g, strength_v, W, q, src, tgt, w
+                        g, labels_g, strength_v, W, q, src, tgt, w, tier=tier
                     )
                 n_sweeps += 1
                 ctx.cas(moved)
@@ -492,3 +570,25 @@ def _multilevel_pla(
             "n_sweeps": n_sweeps,
         },
     )
+
+
+def _warm_sweep_best_moves() -> None:
+    """Compile the sweep scan on a 2-vertex, 2-arc toy instance."""
+    src = np.asarray([0, 1], dtype=np.int64)
+    tgt = np.asarray([1, 0], dtype=np.int64)
+    i2 = np.asarray([0, 1], dtype=np.int64)
+    f2 = np.ones(2, dtype=np.float64)
+    _compiled.sweep_best_moves(
+        src, tgt, f2.copy(), i2, f2.copy(), f2.copy(), 1.0,
+        np.zeros(2, dtype=np.float64), np.full(2, -1, dtype=np.int64),
+        np.empty(2, dtype=np.int64), np.empty(2, dtype=np.int64),
+        np.empty(2, dtype=np.int64), np.empty(2, dtype=np.float64),
+    )
+
+
+dispatch.register(
+    "pla_sweep",
+    numpy_fn=_best_moves_numpy,
+    compiled_fn=_best_moves_compiled,
+    warmup=_warm_sweep_best_moves,
+)

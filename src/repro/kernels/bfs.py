@@ -26,6 +26,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import GraphStructureError
+from repro.kernels import _compiled, dispatch
 from repro.kernels._frontier import GraphLike, expand, expand_batch, unwrap
 from repro.obs.api import algorithm
 from repro.parallel.runtime import ParallelContext, ensure_context
@@ -191,6 +192,7 @@ def msbfs(
     *,
     ctx: Optional[ParallelContext] = None,
     max_depth: Optional[int] = None,
+    kernel_tier: Optional[str] = None,
 ) -> MSBFSResult:
     """Level-synchronous BFS from ``K`` sources simultaneously.
 
@@ -201,6 +203,14 @@ def msbfs(
     calls collapses into one NumPy dispatch per level.  Lanes are fully
     independent: ``result.distances[k]`` equals
     ``bfs(g, sources[k]).distances`` exactly.
+
+    On the compiled tier (``kernel_tier`` / ``ctx.kernel_tier`` /
+    DESIGN §9 resolution) the per-level expand + claim is one njit
+    pass over the CSR arrays instead of the gather/scatter cascade;
+    direction choice, frontier bookkeeping and spans are shared, and
+    claimed frontiers/distances are bit-identical.  Edge-masked views
+    always traverse on the numpy tier (the compiled step reads the raw
+    CSR adjacency).
     """
     graph, edge_active = unwrap(g)
     ctx = ensure_context(ctx)
@@ -213,6 +223,8 @@ def msbfs(
     dist = np.full((k, n), UNREACHED, dtype=np.int32)
     if k == 0:
         return MSBFSResult(srcs, dist, 0)
+    tier = ctx.tier_for(graph.n_arcs * k, override=kernel_tier)
+    compiled_steps = tier == "compiled" and edge_active is None
     dist_flat = dist.reshape(-1)
     lanes = np.arange(k, dtype=np.int64)
     dist[lanes, srcs] = 0
@@ -220,6 +232,11 @@ def msbfs(
     level = 0
     kn = k * n
     degs_all = graph.degrees()
+    offsets, targets = graph.offsets, graph.targets
+    # Claim scratch for the compiled steps: both directions claim at
+    # most the remaining unvisited entries, so one kn-sized buffer per
+    # traversal serves every level.
+    claims = np.empty(kn, dtype=np.int64) if compiled_steps else None
     # Direction-optimizing levels (Beamer et al.): when fewer arcs hang
     # off the unvisited side than off the frontier, expand the unvisited
     # side instead — on an undirected graph an unvisited vertex joins
@@ -242,29 +259,55 @@ def msbfs(
                     depth=level,
                     frontier=int(verts.shape[0]),
                     direction="bottom_up" if bottom_up else "top_down",
+                    kernel_tier=tier,
                 )
                 if tr
                 else None
             )
-            if bottom_up:
-                un_flat = np.flatnonzero(dist_flat == UNREACHED)
-                ulanes = un_flat // n
-                uverts = un_flat - ulanes * n
-                src_pos, nbr_flat, _ = expand_batch(
-                    graph, ulanes, uverts, edge_active
-                )
-                hit = np.flatnonzero(dist_flat.take(nbr_flat) == level)
-                cand = un_flat.take(src_pos.take(hit))
+            if compiled_steps:
+                # First-come claims visit the same candidate set as the
+                # dedup-then-assign numpy step, so the claimed set — and
+                # every distance — is identical; sorting the claim log
+                # reproduces _claimed_frontier's sorted-unique order
+                # (bottom-up claims are already ascending).
+                if bottom_up:
+                    cnt = _compiled.msbfs_bottomup(
+                        offsets, targets, dist_flat, n, level, claims
+                    )
+                else:
+                    cnt = _compiled.msbfs_topdown(
+                        offsets, targets, dist_flat, verts, lanes * n,
+                        level, claims,
+                    )
+                if cnt == 0:
+                    if sp is not None:
+                        tr.end(sp, discovered=0)
+                    break
+                nxt = np.sort(claims[:cnt])
             else:
-                _, tgt_flat, _ = expand_batch(graph, lanes, verts, edge_active)
-                unseen = np.flatnonzero(dist_flat.take(tgt_flat) == UNREACHED)
-                cand = tgt_flat.take(unseen)
-            if cand.shape[0] == 0:
-                if sp is not None:
-                    tr.end(sp, discovered=0)
-                break
-            dist_flat[cand] = level + 1
-            nxt = _claimed_frontier(dist_flat, cand, level + 1, kn)
+                if bottom_up:
+                    un_flat = np.flatnonzero(dist_flat == UNREACHED)
+                    ulanes = un_flat // n
+                    uverts = un_flat - ulanes * n
+                    src_pos, nbr_flat, _ = expand_batch(
+                        graph, ulanes, uverts, edge_active
+                    )
+                    hit = np.flatnonzero(dist_flat.take(nbr_flat) == level)
+                    cand = un_flat.take(src_pos.take(hit))
+                else:
+                    _, tgt_flat, _ = expand_batch(
+                        graph, lanes, verts, edge_active
+                    )
+                    unseen = np.flatnonzero(
+                        dist_flat.take(tgt_flat) == UNREACHED
+                    )
+                    cand = tgt_flat.take(unseen)
+                if cand.shape[0] == 0:
+                    if sp is not None:
+                        tr.end(sp, discovered=0)
+                    break
+                dist_flat[cand] = level + 1
+                nxt = _claimed_frontier(dist_flat, cand, level + 1, kn)
             lanes = nxt // n
             verts = nxt - lanes * n
             todo_arcs -= int(degs_all.take(verts).sum())
@@ -272,6 +315,28 @@ def msbfs(
             if sp is not None:
                 tr.end(sp, discovered=int(nxt.shape[0]))
     return MSBFSResult(srcs, dist, level)
+
+
+def _warm_msbfs_steps() -> None:
+    """Compile both frontier-step kernels on a 2-vertex path, 1 lane."""
+    offsets = np.asarray([0, 1, 2], dtype=np.int64)
+    targets = np.asarray([1, 0], dtype=np.int64)
+    claims = np.empty(2, dtype=np.int64)
+    dist_flat = np.asarray([0, -1], dtype=np.int32)
+    _compiled.msbfs_topdown(
+        offsets, targets, dist_flat,
+        np.asarray([0], dtype=np.int64), np.zeros(1, dtype=np.int64),
+        0, claims,
+    )
+    dist_flat = np.asarray([0, -1], dtype=np.int32)
+    _compiled.msbfs_bottomup(offsets, targets, dist_flat, 2, 0, claims)
+
+
+dispatch.register(
+    "msbfs_frontier",
+    compiled_fn=_compiled.msbfs_topdown,
+    warmup=_warm_msbfs_steps,
+)
 
 
 @algorithm("st_connectivity", operands=2)

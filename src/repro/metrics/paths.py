@@ -35,10 +35,12 @@ def _distance_stats_batch(graph, batch, payload):
 
     The shared per-source-distance reduction behind all three metrics;
     module-level so the process backend can ship it by reference.
-    ``payload`` is the optional edge-activity mask.
+    ``payload`` is the optional edge-activity mask, or a
+    ``(mask, kernel_tier)`` tuple resolved once by the caller.
     """
-    g: GraphLike = graph if payload is None else EdgeSubsetView(graph, payload)
-    dist = msbfs(g, batch).distances
+    mask, tier = payload if isinstance(payload, tuple) else (payload, None)
+    g: GraphLike = graph if mask is None else EdgeSubsetView(graph, mask)
+    dist = msbfs(g, batch, kernel_tier=tier).distances
     pos = dist > 0
     vals = dist[pos]
     hist = np.bincount(vals) if vals.shape[0] else np.zeros(0, dtype=np.int64)
@@ -53,11 +55,12 @@ def _batched_stats(g: GraphLike, srcs: np.ndarray, ctx: ParallelContext):
     graph, edge_active = unwrap(g)
     batches = source_batches(srcs, None, graph.n_vertices)
     per = float(max(1, graph.n_arcs))
+    tier = ctx.tier_for(graph.n_arcs)
     return ctx.map_batches(
         _distance_stats_batch,
         graph,
         batches,
-        payload=edge_active,
+        payload=(edge_active, tier),
         costs=[per * len(b) for b in batches],
     )
 

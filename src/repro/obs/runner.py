@@ -44,6 +44,7 @@ class RunResult:
     backend: str
     n_workers: int
     elapsed_seconds: float
+    kernel_tiers: dict = field(default_factory=dict)
     extras: dict = field(default_factory=dict)
 
     def summary(self) -> str:
@@ -69,6 +70,7 @@ class RunResult:
             "cost_model": self.cost_model.summary(),
             "sync": self.sync.as_dict(),
             "pool": self.pool.as_dict(),
+            "kernel_tiers": dict(self.kernel_tiers),
         }
 
     def save(self, path: Union[str, Path]) -> Path:
@@ -90,6 +92,7 @@ def run(
     trace: Union[bool, Tracer, None] = True,
     fault_policy=None,
     chaos=None,
+    kernel_tier: Optional[str] = None,
     **kwargs,
 ) -> RunResult:
     """Execute an algorithm under full observability.
@@ -105,6 +108,10 @@ def run(
     and ``chaos`` (a planner from :mod:`repro.parallel.chaos`) arm the
     fault-tolerant dispatch path; on an explicit ``ctx`` they are
     installed for the duration of the run and restored afterwards.
+
+    ``kernel_tier`` pins the context's kernel tier (``"auto"``,
+    ``"numpy"`` or ``"compiled"``, DESIGN §9) the same way; the tiers
+    that actually dispatched land in ``RunResult.kernel_tiers``.
     """
     from repro.parallel.runtime import ParallelContext
 
@@ -125,13 +132,16 @@ def run(
             trace=tracer,
             fault_policy=fault_policy,
             chaos=chaos,
+            kernel_tier=kernel_tier,
         )
-    elif fault_policy is not None or chaos is not None:
-        restore = (ctx.fault_policy, ctx.chaos)
+    elif fault_policy is not None or chaos is not None or kernel_tier is not None:
+        restore = (ctx.fault_policy, ctx.chaos, ctx.kernel_tier)
         if fault_policy is not None:
             ctx.fault_policy = fault_policy
         if chaos is not None:
             ctx.chaos = chaos
+        if kernel_tier is not None:
+            ctx.kernel_tier = kernel_tier
     try:
         t0 = time.perf_counter()
         value = fn(graph, *operands, ctx=ctx, trace=tracer, **kwargs)
@@ -147,9 +157,10 @@ def run(
             backend=ctx.backend,
             n_workers=ctx.n_workers,
             elapsed_seconds=elapsed,
+            kernel_tiers=dict(ctx.tier_dispatches),
         )
     finally:
         if own_ctx:
             ctx.close()
         elif restore is not None:
-            ctx.fault_policy, ctx.chaos = restore
+            ctx.fault_policy, ctx.chaos, ctx.kernel_tier = restore

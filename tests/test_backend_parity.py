@@ -131,3 +131,50 @@ def test_backend_parity(name, karate):
         assert results[backend].trace.structure() == ref_structure, (
             f"{name} [{backend}]: span-tree structure diverges from serial"
         )
+
+
+def _assert_identical(name: str, label: str, got: dict, ref: dict) -> None:
+    """Bit-exact across kernel tiers — no float tolerance at all."""
+    assert got.keys() == ref.keys()
+    for key in ref:
+        a, b = got[key], ref[key]
+        assert a.shape == b.shape, (
+            f"{name} [{label}]: {key} shape {a.shape} != {b.shape}"
+        )
+        assert np.array_equal(a, b, equal_nan=True), (
+            f"{name} [{label}]: {key} not bit-identical to the numpy tier"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(SPEC))
+def test_kernel_tier_parity(name, karate):
+    """Compiled tier == numpy tier, bit for bit, on every algorithm.
+
+    Runs the numpy-tier serial result as reference, then the compiled
+    tier under serial and process execution (compiled kernels must work
+    inside process-backend workers).  Skips cleanly when numba is not
+    installed — the compiled tier is then unreachable by construction.
+    """
+    from repro.kernels import dispatch
+
+    if not dispatch.numba_available():
+        pytest.skip("numba not installed; compiled tier unavailable")
+    operands, kwargs = SPEC[name]
+    algo = name.partition("@")[0]
+    ref_run = repro.run(
+        algo, karate, *operands, backend="serial", n_workers=2,
+        kernel_tier="numpy", **kwargs,
+    )
+    ref = _project(ref_run.value)
+    ref_structure = ref_run.trace.structure()
+    for backend in ("serial", "process"):
+        res = repro.run(
+            algo, karate, *operands, backend=backend, n_workers=2,
+            kernel_tier="compiled", **kwargs,
+        )
+        _assert_identical(
+            name, f"compiled/{backend}", _project(res.value), ref
+        )
+        assert res.trace.structure() == ref_structure, (
+            f"{name} [compiled/{backend}]: span-tree structure diverges"
+        )

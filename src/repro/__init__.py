@@ -36,8 +36,19 @@ Quickstart::
 
 Every public algorithm entrypoint follows the canonical surface
 ``fn(graph, <operands...>, *, ctx=None, seed=None, trace=None, ...)``
-and is importable from the top level, and :func:`repro.run` executes
-any of them (by registry name or callable) under full observability::
+and is importable from the top level.  The **stable facade** is
+:mod:`repro.api` — three verbs over the whole stack::
+
+    import repro.api as api
+
+    web = api.load("graph.txt")            # resident GraphHandle
+    fut = api.submit(web, "closeness")     # coalescing Future[RunResult]
+    res = api.run("bfs", web, source=0)    # sync shim
+
+:func:`repro.run` (the pre-facade entrypoint) still executes any
+registered algorithm under full observability and remains supported,
+but new code should prefer ``repro.api.run`` — it shares one
+validation path with the CLI and the ``repro serve`` wire protocol::
 
     import repro
 
@@ -104,9 +115,30 @@ from repro.obs import (
     algorithm_names,
     current_tracer,
     get_algorithm,
-    run,
     use_tracer,
 )
+from repro.obs import run as _obs_run
+
+
+def run(*args, **kwargs):
+    """Pre-facade entrypoint; superseded by :func:`repro.api.run`.
+
+    Delegates unchanged to :func:`repro.obs.run` so existing call
+    sites keep working, but warns once per site: the facade adds
+    registry-driven validation shared with the CLI and wire protocol.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.run() is superseded by the stable facade repro.api.run(); "
+        "see repro.api (load/submit/run)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _obs_run(*args, **kwargs)
+
+
+from repro import api  # noqa: E402  (needs the symbols above)
 from repro.parallel import ChaosMonkey, ChaosPlan, Fault, FaultPolicy, ParallelContext
 from repro.partitioning import (
     multilevel_bisection,
@@ -119,6 +151,8 @@ from repro.partitioning import (
 __version__ = "0.1.0"
 
 __all__ = [
+    # stable facade
+    "api",
     # subpackages
     "graph",
     "parallel",

@@ -10,13 +10,17 @@ Mirrors the utility programs the original SNAP distribution shipped::
     python -m repro profile  --rmat-scale 10 -o profile.json
     python -m repro check    --seed 0 --budget 30
     python -m repro chaos    --backends thread,process
+    python -m repro serve    --graph web=graph.txt --port 8265
 
-``analyze``, ``cluster`` and ``partition`` accept ``--backend
-{serial,thread,process}`` / ``--workers P`` to pick the execution
-backend and ``--profile out.json`` to record the run's span tree, cost
+``analyze``, ``cluster``, ``partition`` and ``serve`` share one
+execution-options surface (:mod:`repro.cli_options`): ``--backend
+{serial,thread,process}`` / ``--workers P`` pick the execution
+backend and ``--profile out.json`` records the run's span tree, cost
 model and pool gauges; ``--timeout SEC`` / ``--retries N`` /
 ``--on-worker-crash {rebuild,degrade,raise}`` arm the fault-tolerant
-dispatch layer (see DESIGN.md §8).  ``profile`` is the dedicated
+dispatch layer (see DESIGN.md §8).  ``serve`` starts the long-lived
+graph-service daemon (DESIGN.md §10): resident shared graphs behind a
+request-coalescing scheduler over HTTP/JSON.  ``profile`` is the dedicated
 measurement front-end: it runs a set of registered algorithms under
 full tracing and writes one JSON document per run.  ``chaos`` injects
 every fault kind on every backend and asserts recovery with
@@ -40,9 +44,11 @@ from typing import Optional
 import numpy as np
 
 from repro import community, generators, metrics
+from repro.cli_options import ExecutionOptions, add_execution_flags
 from repro.errors import ConvergenceError, PartitioningError, SnapError
 from repro.graph import io as graph_io
 from repro.graph.csr import Graph
+from repro.graph.io import read_auto as _load
 from repro.obs import Tracer, flame_summary, run as obs_run, use_tracer, write_json
 from repro.parallel.runtime import ParallelContext
 from repro.partitioning import (
@@ -53,13 +59,6 @@ from repro.partitioning import (
     spectral_kway,
 )
 
-_READERS = {
-    ".graph": graph_io.read_metis,
-    ".metis": graph_io.read_metis,
-    ".gr": graph_io.read_dimacs,
-    ".dimacs": graph_io.read_dimacs,
-    ".npz": graph_io.load_npz,
-}
 _WRITERS = {
     "edgelist": graph_io.write_edge_list,
     "metis": graph_io.write_metis,
@@ -68,44 +67,9 @@ _WRITERS = {
 }
 
 
-def _load(path: str, directed: bool = False) -> Graph:
-    suffix = Path(path).suffix.lower()
-    reader = _READERS.get(suffix)
-    if reader is graph_io.read_dimacs:
-        return reader(path, directed=directed)
-    if reader is not None:
-        return reader(path)
-    return graph_io.read_edge_list(path, directed=directed)
-
-
-def _fault_policy_from_args(args: argparse.Namespace):
-    """FaultPolicy from the shared resilience flags (None if untouched)."""
-    timeout = getattr(args, "timeout", None)
-    retries = getattr(args, "retries", None)
-    crash = getattr(args, "on_worker_crash", None)
-    if timeout is None and retries is None and crash is None:
-        return None
-    from repro.parallel.resilience import FaultPolicy
-
-    kw = {}
-    if timeout is not None:
-        kw["task_timeout"] = timeout
-    if retries is not None:
-        kw["max_retries"] = retries
-    if crash is not None:
-        kw["on_worker_crash"] = crash
-    return FaultPolicy(**kw)
-
-
 def _make_ctx(args: argparse.Namespace, tracer=None) -> ParallelContext:
-    """Execution context from the shared --backend/--workers flags."""
-    return ParallelContext(
-        getattr(args, "workers", 1),
-        backend=getattr(args, "backend", None) or "serial",
-        trace=tracer,
-        fault_policy=_fault_policy_from_args(args),
-        kernel_tier=getattr(args, "kernel_tier", None),
-    )
+    """Execution context from the shared execution flags."""
+    return ExecutionOptions.from_args(args).make_context(tracer)
 
 
 def _finish_profile(args, tracer: Optional[Tracer], ctx: ParallelContext,
@@ -131,7 +95,7 @@ def _finish_profile(args, tracer: Optional[Tracer], ctx: ParallelContext,
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    g = _load(args.graph, args.directed)
+    g = _load(args.graph, directed=args.directed)
     print(f"graph: {g}")
     gg = g.as_undirected() if g.directed else g
     tracer = Tracer() if args.profile else None
@@ -177,7 +141,7 @@ _CLUSTERERS = {
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
-    g = _load(args.graph, args.directed)
+    g = _load(args.graph, directed=args.directed)
     if g.directed:
         g = g.as_undirected()
     tracer = Tracer() if args.profile else None
@@ -198,7 +162,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
-    g = _load(args.graph, args.directed)
+    g = _load(args.graph, directed=args.directed)
     if g.directed:
         g = g.as_undirected()
     tracer = Tracer() if args.profile else None
@@ -250,7 +214,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print("profile: provide a graph file or --rmat-scale", file=sys.stderr)
         return 2
     if args.graph is not None:
-        g = _load(args.graph, False)
+        g = _load(args.graph)
         source = args.graph
     else:
         g = generators.rmat(
@@ -440,9 +404,43 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_convert(args: argparse.Namespace) -> int:
-    g = _load(args.input, args.directed)
+    g = _load(args.input, directed=args.directed)
     _WRITERS[args.to](g, args.output)
     print(f"{g} → {args.output} ({args.to})")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Start the graph-service daemon (DESIGN.md §10)."""
+    from repro.serve.server import ReproServer, ServeConfig
+
+    preload: list[tuple[str, str]] = []
+    for spec in args.graph or []:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            name, path = spec, spec
+        preload.append((name, path))
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        options=ExecutionOptions.from_args(args),
+        max_bytes=args.max_bytes,
+        max_batch_delay=args.max_batch_delay,
+        max_batch=args.max_batch,
+        batch_runners=args.batch_runners,
+        profile_path=args.profile,
+    )
+    with ReproServer(config, verbose=args.verbose) as server:
+        for name, path in preload:
+            entry = server.registry.load(path, name=name)
+            print(f"resident: {name} = {entry.graph} ({entry.nbytes:,d} bytes)")
+        host, port = server.address
+        print(f"repro serve listening on http://{host}:{port} "
+              f"(backend={server.ctx.backend}, workers={server.ctx.n_workers})")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
     return 0
 
 
@@ -454,35 +452,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_backend_flags(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--backend", choices=["serial", "thread", "process"],
-                       default=None,
-                       help="execution backend (default: serial)")
-        p.add_argument("--workers", type=int, default=1,
-                       help="worker count for thread/process backends")
-        p.add_argument("--profile", metavar="OUT.json", default=None,
-                       help="record a span-tree profile of the run")
-        p.add_argument("--timeout", type=float, default=None, metavar="SEC",
-                       help="per-task timeout; hung workers are replaced "
-                            "and the task retried")
-        p.add_argument("--retries", type=int, default=None, metavar="N",
-                       help="per-task retry budget for transient worker "
-                            "failures (default 2 when resilience is on)")
-        p.add_argument("--on-worker-crash", default=None,
-                       choices=["rebuild", "degrade", "raise"],
-                       help="crash response: rebuild the pool, degrade "
-                            "process->thread->serial, or raise")
-        p.add_argument("--kernel-tier", default=None,
-                       choices=["auto", "numpy", "compiled"],
-                       help="kernel tier: numpy reference, numba-"
-                            "compiled, or size-based auto (default)")
-
     p = sub.add_parser("analyze", help="exploratory network analysis")
     p.add_argument("graph")
     p.add_argument("--directed", action="store_true")
     p.add_argument("--paths", action="store_true",
                    help="also estimate path statistics (slower)")
-    add_backend_flags(p)
+    add_execution_flags(p)
     p.set_defaults(fn=_cmd_analyze)
 
     p = sub.add_parser("cluster", help="community detection")
@@ -493,7 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--patience", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("-o", "--output", help="write vertex labels here")
-    add_backend_flags(p)
+    add_execution_flags(p)
     p.set_defaults(fn=_cmd_cluster)
 
     p = sub.add_parser("partition", help="balanced k-way partitioning")
@@ -504,7 +479,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["kmetis", "pmetis", "spectral-rqi",
                             "spectral-lan"])
     p.add_argument("-o", "--output")
-    add_backend_flags(p)
+    add_execution_flags(p)
     p.set_defaults(fn=_cmd_partition)
 
     p = sub.add_parser(
@@ -610,6 +585,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--to", choices=sorted(_WRITERS), required=True)
     p.add_argument("--directed", action="store_true")
     p.set_defaults(fn=_cmd_convert)
+
+    p = sub.add_parser(
+        "serve",
+        help="start the graph-service daemon: resident shared graphs "
+             "behind a request-coalescing scheduler over HTTP/JSON",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8265,
+                   help="listen port (0 = ephemeral)")
+    p.add_argument("--graph", action="append", metavar="NAME=PATH",
+                   help="preload a graph into residency (repeatable); "
+                        "bare PATH uses the path as the name")
+    p.add_argument("--max-bytes", type=int, default=None,
+                   help="byte budget for resident graphs (LRU eviction)")
+    p.add_argument("--max-batch-delay", type=float, default=0.005,
+                   metavar="SEC",
+                   help="how long a request may wait for coalescing "
+                        "partners before dispatch")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="max requests folded into one dispatch")
+    p.add_argument("--batch-runners", type=int, default=2,
+                   help="concurrent batch executor threads")
+    p.add_argument("--verbose", action="store_true",
+                   help="log one line per HTTP request")
+    add_execution_flags(p)
+    p.set_defaults(fn=_cmd_serve)
     return parser
 
 

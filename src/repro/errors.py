@@ -108,3 +108,47 @@ class BackendUnavailable(ExecutionError):
     Raised when pool construction fails, or when the pool-rebuild budget
     is spent and the degradation ladder is disabled or exhausted.
     """
+
+
+class ServeError(SnapError):
+    """Base class for graph-service (``repro serve``) failures.
+
+    Every subclass carries a stable ``code`` string that the wire
+    protocol returns verbatim, so clients can dispatch on error kind
+    without parsing messages.
+    """
+
+    code = "serve_error"
+
+
+class ProtocolError(ServeError):
+    """A malformed or unvalidatable service request."""
+
+    code = "bad_request"
+
+
+class GraphNotResident(ServeError):
+    """The named graph is not (or no longer) in the resident registry."""
+
+    code = "graph_not_resident"
+
+
+class AdmissionDenied(ServeError):
+    """Loading a graph would exceed the registry's byte budget.
+
+    Raised when the graph alone is larger than the budget, or when
+    every resident graph that could be evicted to make room is pinned
+    by an in-flight batch.
+    """
+
+    code = "admission_denied"
+
+
+class DeadlineExpired(ServeError):
+    """A request's deadline lapsed before (or while) its batch ran.
+
+    Scoped to the one request: the surrounding batch's other requests
+    are unaffected and still complete.
+    """
+
+    code = "deadline_expired"

@@ -285,3 +285,33 @@ def load_npz(path) -> Graph:
             )
         except KeyError as exc:
             raise GraphFormatError(f"missing array in npz: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Extension-dispatched reader (shared by the CLI and the serve registry).
+# ---------------------------------------------------------------------------
+#: suffix -> reader; anything else parses as a whitespace edge list.
+READERS = {
+    ".graph": read_metis,
+    ".metis": read_metis,
+    ".gr": read_dimacs,
+    ".dimacs": read_dimacs,
+    ".npz": load_npz,
+}
+
+
+def read_auto(path, *, directed: bool = False) -> Graph:
+    """Read a graph file, choosing the format by file extension.
+
+    METIS (``.graph``/``.metis``), DIMACS (``.gr``/``.dimacs``) and
+    binary ``.npz`` are recognized; everything else is parsed as a
+    whitespace ``u v [w]`` edge list.  ``directed`` applies to the
+    formats that do not encode directedness themselves.
+    """
+    suffix = os.path.splitext(os.fspath(path))[1].lower()
+    reader = READERS.get(suffix)
+    if reader is read_dimacs:
+        return reader(path, directed=directed)
+    if reader is read_metis or reader is load_npz:
+        return reader(path)
+    return read_edge_list(path, directed=directed)

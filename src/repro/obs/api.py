@@ -32,6 +32,7 @@ count ``k``) and everything else is keyword-only.  The
 from __future__ import annotations
 
 import functools
+import inspect
 import warnings
 from typing import Callable, Optional
 
@@ -39,7 +40,15 @@ import numpy as np
 
 from repro.obs.tracer import current_tracer, use_tracer
 
-__all__ = ["algorithm", "get_algorithm", "algorithm_names", "ALGORITHMS"]
+__all__ = [
+    "algorithm",
+    "get_algorithm",
+    "algorithm_names",
+    "algorithm_spec",
+    "validate_params",
+    "split_operands",
+    "ALGORITHMS",
+]
 
 ALGORITHMS: dict[str, Callable] = {}
 """Registry: canonical name -> decorated entrypoint."""
@@ -138,11 +147,140 @@ def algorithm(
 
         wrapper.__algorithm__ = name
         wrapper.__wrapped__ = fn
+        wrapper.__operands__ = operands
+        wrapper.__legacy__ = tuple(legacy)
         if register:
             ALGORITHMS[name] = wrapper
         return wrapper
 
     return deco
+
+
+#: Uniform keywords every wrapped entrypoint accepts; they belong to the
+#: execution surface, not to any one algorithm, so specs list them once
+#: under ``"uniform"`` instead of per algorithm.
+_UNIFORM_PARAMS = ("ctx", "trace", "seed", "fault_policy")
+
+
+def _param_type(p: inspect.Parameter) -> Optional[str]:
+    """Best-effort JSON-ish type label from default value / annotation."""
+    if p.default is not inspect.Parameter.empty and p.default is not None:
+        if isinstance(p.default, bool):
+            return "boolean"
+        if isinstance(p.default, (int, np.integer)):
+            return "integer"
+        if isinstance(p.default, (float, np.floating)):
+            return "number"
+        if isinstance(p.default, str):
+            return "string"
+        if isinstance(p.default, (list, tuple)):
+            return "array"
+    ann = p.annotation
+    if isinstance(ann, str):
+        for label, needles in (
+            ("integer", ("int",)),
+            ("number", ("float",)),
+            ("boolean", ("bool",)),
+            ("string", ("str",)),
+            ("array", ("Sequence", "list", "ndarray", "tuple")),
+        ):
+            if any(n in ann for n in needles):
+                return label
+    return None
+
+
+def algorithm_spec(name: str) -> dict:
+    """Machine-readable call surface of one registered algorithm.
+
+    Derived by introspecting the *undecorated* entrypoint, so the same
+    metadata drives in-process validation (:func:`validate_params`),
+    the ``repro.api`` facade, and the serve wire protocol — there is no
+    hand-written schema to drift.  Returns::
+
+        {"name": ...,
+         "operands": [{"name": ..., "type": ...}, ...],   # required
+         "params":   {pname: {"default": ..., "type": ...}, ...},
+         "uniform":  ["ctx", "trace", "seed", "fault_policy"]}
+
+    ``operands`` are the positional data arguments after the graph
+    (a BFS source, a part count ``k``); ``params`` are the keyword
+    options.  ``rng`` is folded into the uniform ``seed`` surface.
+    """
+    fn = get_algorithm(name)
+    raw = inspect.unwrap(fn)
+    n_operands = getattr(fn, "__operands__", 0)
+    sig = inspect.signature(raw)
+    names = list(sig.parameters)
+    operands = []
+    params: dict[str, dict] = {}
+    for pname in names[1 : 1 + n_operands]:  # names[0] is the graph
+        operands.append(
+            {"name": pname, "type": _param_type(sig.parameters[pname])}
+        )
+    for pname in names[1 + n_operands:]:
+        p = sig.parameters[pname]
+        if pname in ("ctx", "trace", "rng") or p.kind in (
+            inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD
+        ):
+            continue
+        entry: dict = {"type": _param_type(p)}
+        if p.default is not inspect.Parameter.empty:
+            entry["default"] = p.default
+        params[pname] = entry
+    uniform = ["ctx", "trace", "fault_policy"]
+    if "rng" in names:
+        uniform.insert(2, "seed")
+    return {
+        "name": name,
+        "operands": operands,
+        "params": params,
+        "uniform": uniform,
+    }
+
+
+def validate_params(name: str, params: dict) -> dict:
+    """Check keyword ``params`` against an algorithm's spec.
+
+    The single validation gate shared by ``repro.api``, the CLI and the
+    serve protocol: unknown keywords raise :class:`TypeError` *before*
+    any graph work happens (listing what the algorithm accepts), and
+    the validated dict is returned unchanged.  Operand names are
+    accepted here too — :func:`split_operands` lifts them back into
+    positional form at call time.
+    """
+    spec = algorithm_spec(name)
+    allowed = (
+        set(spec["params"])
+        | set(spec["uniform"])
+        | {op["name"] for op in spec["operands"]}
+    )
+    unknown = sorted(set(params) - allowed)
+    if unknown:
+        raise TypeError(
+            f"{name}() got unexpected parameter(s) "
+            f"{', '.join(unknown)}; accepted: {', '.join(sorted(allowed))}"
+        )
+    return params
+
+
+def split_operands(name: str, params: dict) -> tuple[tuple, dict]:
+    """Split a flat validated param dict into ``(operands, kwargs)``.
+
+    Operands are required: a missing one raises :class:`TypeError`
+    naming it.  Lets wire requests and ``api.submit`` address every
+    argument by name while the entrypoints keep their positional
+    operand convention.
+    """
+    spec = algorithm_spec(name)
+    params = dict(params)
+    ops = []
+    for op in spec["operands"]:
+        if op["name"] not in params:
+            raise TypeError(
+                f"{name}() missing required operand {op['name']!r}"
+            )
+        ops.append(params.pop(op["name"]))
+    return tuple(ops), params
 
 
 def get_algorithm(name: str) -> Callable:

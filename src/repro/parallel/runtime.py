@@ -349,6 +349,10 @@ class ParallelContext:
         # id(graph) -> (graph, SharedGraph); the strong graph reference
         # keeps the id stable while the shared segment is cached.
         self._shared_graphs: dict = {}
+        # Externally-owned segments (graph-service registry): reused by
+        # map_batches like the cached ones, but never closed here —
+        # their lifecycle belongs to whoever adopted them in.
+        self._adopted_shared: dict = {}
 
     @property
     def tracer(self):
@@ -467,6 +471,9 @@ class ParallelContext:
         """Shared-memory handle for ``graph``, cached per context."""
         from repro.parallel import shm as _shm
 
+        adopted = self._adopted_shared.get(id(graph))
+        if adopted is not None and adopted[0] is graph:
+            return adopted[1]
         entry = self._shared_graphs.get(id(graph))
         if entry is None or entry[0] is not graph:
             entry = (graph, _shm.share_graph(graph))
@@ -474,6 +481,32 @@ class ParallelContext:
             self.pool.shm_segments += 1
             self.pool.shm_bytes += entry[1].nbytes
         return entry[1]
+
+    def adopt_shared_graph(self, graph, shared) -> None:
+        """Register an externally-owned shared segment for ``graph``.
+
+        Long-lived services share a graph's CSR arrays once (in their
+        resident registry) and let every dispatch on this context reuse
+        that segment — ``map_batches`` will ship ``shared.spec`` instead
+        of re-sharing, and :meth:`close` leaves the segment alone.  The
+        caller owns the segment's lifecycle and must
+        :meth:`discard_shared_graph` before closing it.
+        """
+        if shared.shm is None:
+            raise ValueError("cannot adopt a closed shared segment")
+        self._adopted_shared[id(graph)] = (graph, shared)
+
+    def discard_shared_graph(self, graph) -> None:
+        """Forget an adopted (or cached) segment for ``graph``.
+
+        Adopted segments are merely unregistered (the owner closes
+        them); context-owned cached segments are closed immediately —
+        eviction must release ``/dev/shm`` promptly, not at exit.
+        """
+        self._adopted_shared.pop(id(graph), None)
+        entry = self._shared_graphs.pop(id(graph), None)
+        if entry is not None:
+            entry[1].close()
 
     def close(self) -> None:
         """Release the persistent pools and any shared graph segments.
@@ -504,6 +537,7 @@ class ParallelContext:
                     f"close failed: {exc!r}"
                 )
         self._shared_graphs.clear()
+        getattr(self, "_adopted_shared", {}).clear()
         if problems:
             warnings.warn(
                 "ParallelContext.close: " + "; ".join(problems),

@@ -18,6 +18,8 @@ Attached graphs alias shared mutable memory; treat them as read-only
 from __future__ import annotations
 
 import atexit
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 from typing import Optional
@@ -141,9 +143,41 @@ def share_graph(graph: Graph) -> SharedGraph:
 # Per-process attach state.  The cache means a pool worker maps each
 # graph segment once no matter how many batches it processes; the
 # keep-alive list pins uncached attachments' segments so their mapped
-# buffers outlive the returned arrays.
-_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, Graph]] = {}
+# buffers outlive the returned arrays.  The cache is LRU-bounded: a
+# long-lived worker serving a daemon must not accumulate a mapping for
+# every graph that was ever resident (evicted parents unlink the
+# backing file, but the worker's mapping would pin the memory forever).
+_ATTACHED: "OrderedDict[str, tuple[shared_memory.SharedMemory, Graph]]" = (
+    OrderedDict()
+)
 _KEEPALIVE: list[shared_memory.SharedMemory] = []
+
+#: Max worker-side cached attachments; oldest are unmapped past this.
+ATTACH_CACHE_CAP = int(os.environ.get("REPRO_SHM_ATTACH_CAP", "16"))
+
+
+def detach_graph(shm_name: str) -> bool:
+    """Drop one worker-side cached attachment, unmapping its segment.
+
+    Safe while views are live: if NumPy arrays still alias the buffer
+    the mapping is parked on the keep-alive list instead (the OS frees
+    the memory once the parent has unlinked *and* the last mapping
+    dies).  Returns True if the name was cached.
+    """
+    entry = _ATTACHED.pop(shm_name, None)
+    if entry is None:
+        return False
+    shm = entry[0]
+    try:
+        shm.close()
+    except BufferError:  # views outstanding — defer to process exit
+        _KEEPALIVE.append(shm)
+    return True
+
+
+def _trim_attach_cache() -> None:
+    while len(_ATTACHED) > max(1, ATTACH_CACHE_CAP):
+        detach_graph(next(iter(_ATTACHED)))
 
 
 def attach_graph(spec: GraphSpec, *, cache: bool = True) -> Graph:
@@ -155,6 +189,7 @@ def attach_graph(spec: GraphSpec, *, cache: bool = True) -> Graph:
     attaches of one segment return the same Graph object.
     """
     if cache and spec.shm_name in _ATTACHED:
+        _ATTACHED.move_to_end(spec.shm_name)
         return _ATTACHED[spec.shm_name][1]
     try:
         shm = shared_memory.SharedMemory(name=spec.shm_name, create=False)
@@ -185,6 +220,7 @@ def attach_graph(spec: GraphSpec, *, cache: bool = True) -> Graph:
     )
     if cache:
         _ATTACHED[spec.shm_name] = (shm, graph)
+        _trim_attach_cache()
     else:
         _KEEPALIVE.append(shm)
     return graph

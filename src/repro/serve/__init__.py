@@ -1,0 +1,36 @@
+"""Graph-service daemon: resident shared graphs behind a coalescing scheduler.
+
+``repro serve`` keeps graphs resident — parsed once, packed into
+shared-memory CSR segments once — and multiplexes concurrent queries
+over them.  Compatible in-flight requests coalesce: multiple BFS /
+closeness sources against the same graph fold into **one** batched
+multi-source traversal (bit-identical per-request results), and
+identical requests deduplicate into a single run.  The wire schema is
+generated from the ``@algorithm`` registry, so library, CLI and wire
+share one validation path.
+
+Layers:
+
+* :mod:`repro.serve.registry`  — named residency, LRU byte-budget
+  admission, pinning, prompt shm release.
+* :mod:`repro.serve.coalescer` — max-batch-delay scheduler, source
+  merging, dedup, deadlines via the FaultPolicy ladder.
+* :mod:`repro.serve.protocol`  — registry-generated request schema,
+  JSON envelopes.
+* :mod:`repro.serve.server`    — stdlib ThreadingHTTPServer daemon.
+* :mod:`repro.serve.client`    — stdlib urllib client.
+"""
+
+from repro.serve.coalescer import Coalescer, ServeRequest
+from repro.serve.registry import GraphRegistry, ResidentGraph, graph_nbytes
+from repro.serve.server import ReproServer, ServeConfig
+
+__all__ = [
+    "Coalescer",
+    "ServeRequest",
+    "GraphRegistry",
+    "ResidentGraph",
+    "graph_nbytes",
+    "ReproServer",
+    "ServeConfig",
+]

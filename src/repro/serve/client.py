@@ -1,0 +1,146 @@
+"""Stdlib-only client for the ``repro serve`` daemon.
+
+A thin, dependency-free wrapper over :mod:`urllib.request` that speaks
+the JSON protocol in :mod:`repro.serve.protocol`.  The five-line
+session::
+
+    from repro.serve.client import ServeClient
+    c = ServeClient("127.0.0.1", 8265)
+    c.load("data/web.graph", name="web")
+    dist = c.submit("web", "bfs", source=0)["value"]
+    print(c.stats()["coalescer"]["coalescing_hit_rate"])
+
+Structured server errors are re-raised client-side as the matching
+:class:`~repro.errors.ServeError` subclass, so ``except
+DeadlineExpired:`` works the same over the wire as in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Optional
+
+from repro.errors import (
+    AdmissionDenied,
+    DeadlineExpired,
+    GraphNotResident,
+    ProtocolError,
+    ServeError,
+)
+
+__all__ = ["ServeClient"]
+
+_ERROR_TYPES = {
+    "bad_request": ProtocolError,
+    "graph_not_resident": GraphNotResident,
+    "admission_denied": AdmissionDenied,
+    "deadline_expired": DeadlineExpired,
+    "serve_error": ServeError,
+}
+
+
+def _raise_structured(doc: Any) -> None:
+    """Re-raise a server error envelope as its local exception class."""
+    if isinstance(doc, dict) and isinstance(doc.get("error"), dict):
+        err = doc["error"]
+        cls = _ERROR_TYPES.get(err.get("code"), ServeError)
+        raise cls(err.get("message", "server error"))
+
+
+class ServeClient:
+    """HTTP client bound to one ``repro serve`` endpoint."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8265, *,
+        timeout: float = 300.0,
+    ) -> None:
+        self.base = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None,
+    ) -> tuple[int, Any]:
+        data = None if body is None else json.dumps(body).encode()
+        req = urllib.request.Request(
+            self.base + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            payload = exc.read()
+            try:
+                doc = json.loads(payload or b"{}")
+            except json.JSONDecodeError:
+                raise ServeError(
+                    f"HTTP {exc.code}: {payload[:200]!r}"
+                ) from None
+            _raise_structured(doc)
+            raise ServeError(f"HTTP {exc.code}: {doc}") from None
+
+    # -- operations ----------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")[1]
+
+    def algorithms(self) -> dict:
+        """The server's registry-generated request schema."""
+        return self._request("GET", "/v1/algorithms")[1]
+
+    def graphs(self) -> dict:
+        return self._request("GET", "/v1/graphs")[1]
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")[1]
+
+    def load(
+        self, path: str, *, name: Optional[str] = None,
+        directed: bool = False,
+    ) -> dict:
+        body: dict = {"path": path, "directed": directed}
+        if name is not None:
+            body["name"] = name
+        return self._request("POST", "/v1/load", body)[1]
+
+    def evict(self, name: str) -> bool:
+        return bool(self._request("POST", "/v1/evict", {"name": name})[1]["evicted"])
+
+    def submit(
+        self, graph: str, algo: str, *,
+        deadline_s: Optional[float] = None,
+        wait: bool = True,
+        **params: Any,
+    ) -> dict:
+        """Run ``algo`` on resident ``graph``; returns the result envelope.
+
+        With ``wait=False`` returns ``{"ticket": ...}`` immediately;
+        poll with :meth:`result` / :meth:`wait`.
+        """
+        body: dict = {"graph": graph, "algo": algo, "params": params,
+                      "wait": wait}
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        return self._request("POST", "/v1/submit", body)[1]
+
+    def result(self, ticket: str) -> Optional[dict]:
+        """Fetch a ticket; None while still pending."""
+        status, doc = self._request("GET", f"/v1/result/{ticket}")
+        return None if status == 202 else doc
+
+    def wait(self, ticket: str, *, poll_s: float = 0.02,
+             timeout: Optional[float] = None) -> dict:
+        """Poll a ticket to completion."""
+        t0 = time.monotonic()
+        while True:
+            doc = self.result(ticket)
+            if doc is not None:
+                return doc
+            if timeout is not None and time.monotonic() - t0 > timeout:
+                raise DeadlineExpired(
+                    f"ticket {ticket!r} still pending after {timeout}s"
+                )
+            time.sleep(poll_s)

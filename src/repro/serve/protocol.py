@@ -1,0 +1,193 @@
+"""Wire protocol: request/response schema generated from the registry.
+
+The service speaks plain JSON over HTTP, and the contract is **not**
+hand-written: every request schema is derived from the same
+``@algorithm`` registry metadata (:func:`repro.obs.api.algorithm_spec`)
+that drives in-process validation, so a new registered algorithm is
+servable — with correct validation and a published schema — the moment
+it is decorated.  One surface, three transports (library call, CLI,
+wire).
+
+Request document (``POST /v1/submit``)::
+
+    {"graph": "<resident name>",
+     "algo": "<registry name>",
+     "params": {...},          # operands included by name
+     "deadline_s": 0.5,        # optional per-request deadline
+     "wait": true}             # false -> ticket + /v1/result/<id>
+
+Response envelope::
+
+    {"id": ..., "algo": ..., "graph": ..., "value": <jsonable payload>,
+     "elapsed_seconds": ..., "serve": {queue_wait_s, batch_size,
+     coalesced}, "kernel_tiers": {...}}
+
+Errors carry the structured ``code`` from the
+:class:`~repro.errors.ServeError` hierarchy plus a human message.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.obs.api import algorithm_names, algorithm_spec, validate_params
+from repro.obs.runner import RunResult
+from repro.serve.coalescer import MERGEABLE
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "to_jsonable",
+    "request_schema",
+    "parse_submit",
+    "result_envelope",
+    "error_envelope",
+]
+
+PROTOCOL_VERSION = 1
+
+
+def to_jsonable(value: Any) -> Any:
+    """Lossless-as-practical JSON projection of any result payload.
+
+    NumPy arrays become nested lists (float64 round-trips exactly
+    through ``repr``-based JSON floats), result dataclasses become
+    ``{"type": <class>, <field>: ...}`` dicts, and containers recurse.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        doc = {"type": type(value).__name__}
+        for f in dataclasses.fields(value):
+            doc[f.name] = to_jsonable(getattr(value, f.name))
+        return doc
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in value]
+    # Attribute-bag results (e.g. ClusteringResult): public data attrs.
+    attrs = {
+        k: v for k, v in vars(value).items()
+        if not k.startswith("_") and not callable(v)
+    } if hasattr(value, "__dict__") else {}
+    if attrs:
+        doc = {"type": type(value).__name__}
+        doc.update({k: to_jsonable(v) for k, v in attrs.items()})
+        return doc
+    return repr(value)
+
+
+def _jsonable_default(entry: dict) -> dict:
+    out = dict(entry)
+    if "default" in out:
+        d = out["default"]
+        if d is not None and not isinstance(d, (bool, int, float, str)):
+            out["default"] = repr(d)
+    return out
+
+
+def request_schema() -> dict:
+    """The full published schema: one entry per registered algorithm.
+
+    ``coalesce`` tells clients how concurrent requests combine:
+    ``"merge-sources"`` algorithms fold into one multi-source
+    traversal, everything else deduplicates identical runs.
+    """
+    algorithms = {}
+    for name in algorithm_names():
+        spec = algorithm_spec(name)
+        algorithms[name] = {
+            "operands": spec["operands"],
+            "params": {
+                k: _jsonable_default(v) for k, v in spec["params"].items()
+            },
+            "uniform": [u for u in spec["uniform"] if u == "seed"],
+            "coalesce": (
+                "merge-sources" if name in MERGEABLE else "dedup-identical"
+            ),
+        }
+    return {"version": PROTOCOL_VERSION, "algorithms": algorithms}
+
+
+def parse_submit(doc: Any) -> dict:
+    """Validate a submit document; returns the normalized request dict.
+
+    Raises :class:`~repro.errors.ProtocolError` on anything malformed —
+    wrong field types, an unknown algorithm, parameters the algorithm
+    does not accept — *before* the request touches the scheduler.
+    """
+    if not isinstance(doc, dict):
+        raise ProtocolError("request body must be a JSON object")
+    graph = doc.get("graph")
+    if not isinstance(graph, str) or not graph:
+        raise ProtocolError("request requires a string 'graph' name")
+    algo = doc.get("algo")
+    if not isinstance(algo, str):
+        raise ProtocolError("request requires a string 'algo' name")
+    if algo not in algorithm_names():
+        known = ", ".join(algorithm_names())
+        raise ProtocolError(f"unknown algorithm {algo!r}; known: {known}")
+    params = doc.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be a JSON object")
+    disallowed = {"ctx", "trace", "rng", "fault_policy"} & set(params)
+    if disallowed:
+        raise ProtocolError(
+            f"parameter(s) not accepted over the wire: "
+            f"{', '.join(sorted(disallowed))}"
+        )
+    try:
+        validate_params(algo, params)
+    except TypeError as exc:
+        raise ProtocolError(str(exc)) from None
+    deadline_s = doc.get("deadline_s")
+    if deadline_s is not None:
+        if not isinstance(deadline_s, (int, float)) or deadline_s <= 0:
+            raise ProtocolError("'deadline_s' must be a positive number")
+    wait = doc.get("wait", True)
+    if not isinstance(wait, bool):
+        raise ProtocolError("'wait' must be a boolean")
+    return {
+        "graph": graph,
+        "algo": algo,
+        "params": params,
+        "deadline_s": deadline_s,
+        "wait": wait,
+    }
+
+
+def result_envelope(result: RunResult) -> dict:
+    """JSON response document for one resolved request."""
+    serve = dict(result.extras.get("serve", {}))
+    return {
+        "id": serve.pop("request_id", None),
+        "algo": result.algorithm,
+        "graph": serve.pop("graph", None),
+        "value": to_jsonable(result.value),
+        "elapsed_seconds": round(result.elapsed_seconds, 6),
+        "backend": result.backend,
+        "kernel_tiers": dict(result.kernel_tiers),
+        "serve": serve,
+    }
+
+
+def error_envelope(exc: BaseException) -> dict:
+    """Structured error document: stable code + class + message."""
+    return {
+        "error": {
+            "code": getattr(exc, "code", "internal_error"),
+            "type": type(exc).__name__,
+            "message": str(exc),
+        }
+    }

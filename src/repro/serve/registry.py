@@ -1,0 +1,281 @@
+"""Resident graph registry for the long-lived service.
+
+The whole point of ``repro serve`` is that a graph is loaded **once**:
+parsed from disk once, packed into one shared-memory segment once
+(process backend), then served to every request until evicted.  The
+registry is the bookkeeping for that residency:
+
+* **Named residency** — graphs are addressable by name; loading an
+  already-resident name is a cache hit (no re-read, no re-share).
+* **Byte-budget admission control** — ``max_bytes`` caps the summed
+  CSR bytes of resident graphs.  Admission of a new graph evicts
+  least-recently-used residents until it fits; a graph that cannot fit
+  even then (or only pinned graphs remain) is refused with
+  :class:`~repro.errors.AdmissionDenied` *before* any state changes.
+* **Prompt release** — eviction closes the graph's shared segment
+  immediately (``/dev/shm`` is a finite resource on a daemon host; the
+  old behaviour of sweeping segments at interpreter exit is only the
+  last-resort backstop) and unregisters it from the execution
+  context's adopted-segment table.
+* **Pinning** — the coalescer pins a graph for the duration of a batch
+  so eviction can never unmap CSR arrays under a running kernel.
+* **Atomic load** — a failed read/share leaves *no* trace: the name is
+  only registered after every fallible step has succeeded.
+
+All methods are thread-safe (handler threads and the dispatcher share
+the registry).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import AdmissionDenied, GraphNotResident
+from repro.graph.csr import Graph
+from repro.graph.io import read_auto
+
+__all__ = ["ResidentGraph", "GraphRegistry"]
+
+
+def graph_nbytes(graph: Graph) -> int:
+    """Resident size of a graph's CSR arrays (what shm residency costs)."""
+    n = graph.offsets.nbytes + graph.targets.nbytes
+    n += graph.arc_edge_ids.nbytes
+    if graph.weights is not None:
+        n += graph.weights.nbytes
+    return int(n)
+
+
+@dataclass
+class ResidentGraph:
+    """One named resident graph and its residency bookkeeping."""
+
+    name: str
+    graph: Graph
+    nbytes: int
+    source: str
+    shared: Optional[object] = None  # repro.parallel.shm.SharedGraph
+    pins: int = 0
+    hits: int = 0
+    last_used: float = field(default_factory=time.monotonic)
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "source": self.source,
+            "n_vertices": self.graph.n_vertices,
+            "n_edges": self.graph.n_edges,
+            "directed": self.graph.directed,
+            "weighted": self.graph.is_weighted,
+            "nbytes": self.nbytes,
+            "hits": self.hits,
+            "pinned": self.pins > 0,
+        }
+
+
+class GraphRegistry:
+    """Thread-safe LRU registry of resident graphs.
+
+    ``ctx`` is the service's long-lived
+    :class:`~repro.parallel.runtime.ParallelContext`; on the process
+    backend each admitted graph is shared into one segment up front and
+    adopted into the context, so every request-batch dispatch reuses
+    the same mapping instead of re-sharing per ``map_batches`` call.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_bytes: Optional[int] = None,
+        ctx=None,
+        share: Optional[bool] = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
+        self.max_bytes = max_bytes
+        self.ctx = ctx
+        if share is None:
+            share = ctx is not None and getattr(ctx, "backend", "") == "process"
+        self.share = bool(share)
+        self._lock = threading.RLock()
+        self._graphs: dict[str, ResidentGraph] = {}
+        # Monotone counters for the stats surface / tests.
+        self.loads = 0
+        self.load_hits = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return sum(e.nbytes for e in self._graphs.values())
+
+    def _make_room(self, incoming: int) -> None:
+        """Evict LRU unpinned residents until ``incoming`` bytes fit."""
+        if self.max_bytes is None:
+            return
+        if incoming > self.max_bytes:
+            raise AdmissionDenied(
+                f"graph of {incoming} bytes exceeds the registry budget "
+                f"of {self.max_bytes} bytes"
+            )
+        while sum(e.nbytes for e in self._graphs.values()) + incoming > self.max_bytes:
+            victims = [e for e in self._graphs.values() if e.pins == 0]
+            if not victims:
+                raise AdmissionDenied(
+                    f"cannot admit {incoming} bytes: every resident graph "
+                    f"is pinned by an in-flight batch"
+                )
+            victim = min(victims, key=lambda e: e.last_used)
+            self._evict_entry(victim)
+
+    def _evict_entry(self, entry: ResidentGraph) -> None:
+        self._graphs.pop(entry.name, None)
+        if self.ctx is not None:
+            try:
+                self.ctx.discard_shared_graph(entry.graph)
+            except Exception:
+                pass
+        if entry.shared is not None:
+            entry.shared.close()  # prompt /dev/shm release, not atexit
+            entry.shared = None
+        self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def add(self, name: str, graph: Graph, *, source: str = "memory") -> ResidentGraph:
+        """Admit an in-memory graph under ``name`` (undirected view).
+
+        Atomic: admission control and segment sharing happen before the
+        name becomes visible, so a failure leaves the registry exactly
+        as it was.
+        """
+        if graph.directed:
+            graph = graph.as_undirected()
+        nbytes = graph_nbytes(graph)
+        with self._lock:
+            existing = self._graphs.get(name)
+            if existing is not None:
+                self.load_hits += 1
+                existing.hits += 1
+                existing.last_used = time.monotonic()
+                return existing
+            self._make_room(nbytes)
+            shared = None
+            if self.share:
+                from repro.parallel.shm import share_graph
+
+                shared = share_graph(graph)  # may raise: nothing registered yet
+                if self.ctx is not None:
+                    try:
+                        self.ctx.adopt_shared_graph(graph, shared)
+                    except Exception:
+                        shared.close()
+                        raise
+            entry = ResidentGraph(
+                name=name, graph=graph, nbytes=nbytes,
+                source=source, shared=shared,
+            )
+            self._graphs[name] = entry
+            self.loads += 1
+            return entry
+
+    def load(
+        self,
+        path: str,
+        *,
+        name: Optional[str] = None,
+        directed: bool = False,
+    ) -> ResidentGraph:
+        """Read ``path`` (format by extension) and admit it.
+
+        ``name`` defaults to the path string.  Re-loading a resident
+        name never re-reads the file.  A parse failure, admission
+        refusal or shm allocation failure leaves no half-registered
+        name behind.
+        """
+        name = name if name is not None else str(path)
+        with self._lock:
+            existing = self._graphs.get(name)
+            if existing is not None:
+                self.load_hits += 1
+                existing.hits += 1
+                existing.last_used = time.monotonic()
+                return existing
+        graph = read_auto(path, directed=directed)  # outside the lock: slow
+        return self.add(name, graph, source=str(path))
+
+    # ------------------------------------------------------------------
+    # Lookup / pinning
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> ResidentGraph:
+        with self._lock:
+            entry = self._graphs.get(name)
+            if entry is None:
+                known = ", ".join(sorted(self._graphs)) or "(none resident)"
+                raise GraphNotResident(
+                    f"graph {name!r} is not resident; resident: {known}"
+                )
+            entry.hits += 1
+            entry.last_used = time.monotonic()
+            return entry
+
+    def pin(self, name: str) -> ResidentGraph:
+        """Mark a graph in-use: pinned graphs are never evicted."""
+        with self._lock:
+            entry = self.get(name)
+            entry.pins += 1
+            return entry
+
+    def unpin(self, name: str) -> None:
+        with self._lock:
+            entry = self._graphs.get(name)
+            if entry is not None and entry.pins > 0:
+                entry.pins -= 1
+
+    def evict(self, name: str) -> bool:
+        """Evict by name; False if absent, error if pinned."""
+        with self._lock:
+            entry = self._graphs.get(name)
+            if entry is None:
+                return False
+            if entry.pins > 0:
+                raise AdmissionDenied(
+                    f"graph {name!r} is pinned by an in-flight batch"
+                )
+            self._evict_entry(entry)
+            return True
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._graphs)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "resident": [e.describe() for e in self._graphs.values()],
+                "resident_bytes": sum(e.nbytes for e in self._graphs.values()),
+                "max_bytes": self.max_bytes,
+                "loads": self.loads,
+                "load_hits": self.load_hits,
+                "evictions": self.evictions,
+            }
+
+    def close(self) -> None:
+        """Evict everything (prompt segment release), ignoring pins."""
+        with self._lock:
+            for entry in list(self._graphs.values()):
+                self._evict_entry(entry)
+            self._graphs.clear()
+
+    def __enter__(self) -> "GraphRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -178,3 +178,31 @@ def test_kernel_tier_parity(name, karate):
         assert res.trace.structure() == ref_structure, (
             f"{name} [compiled/{backend}]: span-tree structure diverges"
         )
+
+
+@pytest.mark.parametrize("name", sorted(SPEC))
+def test_api_facade_parity(name, karate):
+    """The ``repro.api`` served path returns what the engine returns.
+
+    Every registry algorithm is dispatched once through a Session's
+    coalescing scheduler (handle path) and once directly; the payloads
+    must be bit-identical.  ``bfs`` is the documented exception: the
+    served form is the distances row of a one-lane msbfs (no parent
+    tree), so only its distances are compared.
+    """
+    import repro.api as api
+
+    operands, kwargs = SPEC[name]
+    algo = name.partition("@")[0]
+    direct = repro.run(
+        algo, karate, *operands, backend="serial", trace=False, **kwargs
+    )
+    with api.Session(max_batch_delay=0.001) as session:
+        handle = session.add("karate", karate)
+        served = session.run(algo, handle, *operands, **kwargs)
+    if algo == "bfs":
+        assert np.array_equal(served.value, direct.value.distances)
+        return
+    _assert_identical(
+        name, "api-facade", _project(served.value), _project(direct.value)
+    )

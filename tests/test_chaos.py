@@ -438,18 +438,19 @@ class TestChaosCli:
         assert "2/2 cells recovered bit-identically" in outp
 
     def test_backend_flags_build_policy(self):
-        from repro.cli import _fault_policy_from_args, build_parser
+        from repro.cli import build_parser
+        from repro.cli_options import ExecutionOptions
 
         args = build_parser().parse_args([
             "analyze", "x.txt", "--timeout", "1.5", "--retries", "4",
             "--on-worker-crash", "degrade",
         ])
-        fp = _fault_policy_from_args(args)
+        fp = ExecutionOptions.from_args(args).fault_policy()
         assert fp.task_timeout == 1.5
         assert fp.max_retries == 4
         assert fp.on_worker_crash == "degrade"
         args = build_parser().parse_args(["analyze", "x.txt"])
-        assert _fault_policy_from_args(args) is None
+        assert ExecutionOptions.from_args(args).fault_policy() is None
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,390 @@
+"""Graph-service daemon tests: registry, coalescer, protocol, HTTP, facade.
+
+Covers the service invariants end to end:
+
+* residency — load-once semantics, LRU eviction under byte pressure,
+  atomic failed loads, prompt shared-segment release on eviction;
+* coalescing — concurrent threaded clients' merged batches are
+  bit-identical to isolated per-request runs, identical requests
+  deduplicate into one execution;
+* deadlines — an expired request gets a structured
+  ``DeadlineExpired`` while its batch peers succeed;
+* the HTTP server with concurrent stdlib clients, async tickets and
+  structured wire errors;
+* the ``repro.api`` facade sharing one validation path with the wire.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+import repro.api as api
+from repro import generators
+from repro.errors import (
+    AdmissionDenied,
+    DeadlineExpired,
+    GraphNotResident,
+    ProtocolError,
+)
+from repro.graph import io as graph_io
+from repro.obs.api import algorithm_spec, split_operands, validate_params
+from repro.parallel.shm import live_segment_names
+from repro.serve import Coalescer, GraphRegistry, graph_nbytes
+from repro.serve.client import ServeClient
+from repro.serve.server import ReproServer, ServeConfig
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    return generators.watts_strogatz(
+        120, 6, 0.1, rng=np.random.default_rng(7)
+    )
+
+
+@pytest.fixture(scope="module")
+def rmat():
+    return generators.rmat(8, 8, rng=np.random.default_rng(0)).as_undirected()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_load_once(self, tmp_path, small_world):
+        p = tmp_path / "g.txt"
+        graph_io.write_edge_list(small_world, str(p))
+        reg = GraphRegistry()
+        a = reg.load(str(p), name="g")
+        b = reg.load(str(p), name="g")
+        assert a is b
+        assert reg.loads == 1 and reg.load_hits == 1
+
+    def test_lru_eviction_under_byte_pressure(self, small_world):
+        nbytes = graph_nbytes(small_world)
+        reg = GraphRegistry(max_bytes=2 * nbytes + 16)
+        reg.add("a", small_world)
+        reg.add("b", small_world)
+        reg.get("a")  # touch: b becomes LRU
+        reg.add("c", small_world)
+        assert reg.names() == ["a", "c"]
+        assert reg.evictions == 1
+
+    def test_admission_denied_oversized(self, small_world):
+        reg = GraphRegistry(max_bytes=graph_nbytes(small_world) // 2)
+        with pytest.raises(AdmissionDenied):
+            reg.add("a", small_world)
+        assert reg.names() == []
+
+    def test_pinned_graphs_never_evicted(self, small_world):
+        nbytes = graph_nbytes(small_world)
+        reg = GraphRegistry(max_bytes=nbytes + 16)
+        reg.add("a", small_world)
+        reg.pin("a")
+        with pytest.raises(AdmissionDenied):
+            reg.add("b", small_world)
+        assert reg.names() == ["a"]
+        reg.unpin("a")
+        reg.add("b", small_world)
+        assert reg.names() == ["b"]
+
+    def test_failed_load_leaves_no_name(self, tmp_path):
+        reg = GraphRegistry()
+        with pytest.raises(Exception):
+            reg.load(str(tmp_path / "missing.txt"), name="ghost")
+        with pytest.raises(GraphNotResident):
+            reg.get("ghost")
+        assert reg.names() == []
+
+    def test_eviction_releases_segment_promptly(self, small_world):
+        reg = GraphRegistry(share=True)
+        before = set(live_segment_names())
+        reg.add("a", small_world)
+        created = set(live_segment_names()) - before
+        assert len(created) == 1
+        reg.evict("a")
+        assert not created & set(live_segment_names())
+
+    def test_close_releases_all_segments(self, small_world):
+        before = set(live_segment_names())
+        with GraphRegistry(share=True) as reg:
+            reg.add("a", small_world)
+            reg.add("b", small_world)
+            assert len(set(live_segment_names()) - before) == 2
+        assert set(live_segment_names()) == before
+
+
+# ----------------------------------------------------------------------
+# Coalescer
+# ----------------------------------------------------------------------
+class TestCoalescer:
+    def test_concurrent_bfs_merge_bit_identical(self, rmat):
+        reg = GraphRegistry()
+        reg.add("g", rmat)
+        with Coalescer(reg, max_batch_delay=0.02) as co:
+            sources = list(range(12))
+            results = [None] * len(sources)
+
+            def client(i):
+                results[i] = co.submit(
+                    "g", "bfs", {"source": sources[i]}
+                ).result()
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(len(sources))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for i, s in enumerate(sources):
+                iso = repro.bfs(rmat, s).distances
+                assert np.array_equal(results[i].value, iso)
+            # all twelve shared one graph residency and dispatched batched
+            assert reg.loads == 1
+            stats = co.stats()
+            assert stats["batches"] < stats["requests"]
+            assert stats["coalescing_hit_rate"] > 0
+
+    def test_msbfs_merge_matches_isolated(self, rmat):
+        reg = GraphRegistry()
+        reg.add("g", rmat)
+        with Coalescer(reg, max_batch_delay=0.02) as co:
+            futs = [
+                co.submit("g", "msbfs", {"sources": [0, 5, 9]}),
+                co.submit("g", "msbfs", {"sources": [2, 5]}),
+                co.submit("g", "bfs", {"source": 7}),
+            ]
+            got = [f.result() for f in futs]
+        iso = repro.msbfs(rmat, [0, 5, 9])
+        assert np.array_equal(got[0].value.distances, iso.distances)
+        assert got[0].value.n_levels == iso.n_levels
+        iso2 = repro.msbfs(rmat, [2, 5])
+        assert np.array_equal(got[1].value.distances, iso2.distances)
+        assert got[1].value.n_levels == iso2.n_levels
+        assert np.array_equal(got[2].value, repro.bfs(rmat, 7).distances)
+
+    def test_closeness_merge_matches_isolated(self, rmat):
+        reg = GraphRegistry()
+        reg.add("g", rmat)
+        with Coalescer(reg, max_batch_delay=0.02) as co:
+            futs = [
+                co.submit("g", "closeness", {"sources": [1, 2, 3]}),
+                co.submit("g", "closeness", {"sources": [3, 4]}),
+            ]
+            got = [f.result() for f in futs]
+        iso = repro.closeness_centrality(rmat, sources=[1, 2, 3])
+        assert np.array_equal(got[0].value, iso)
+        iso2 = repro.closeness_centrality(rmat, sources=[3, 4])
+        assert np.array_equal(got[1].value, iso2)
+
+    def test_identical_requests_deduplicate(self, rmat):
+        reg = GraphRegistry()
+        reg.add("g", rmat)
+        with Coalescer(reg, max_batch_delay=0.05) as co:
+            futs = [
+                co.submit("g", "connected_components", {}) for _ in range(6)
+            ]
+            vals = [f.result().value for f in futs]
+        assert all(np.array_equal(v, vals[0]) for v in vals)
+        stats = co.stats()
+        assert stats["dedup_hits"] == 5
+        assert stats["batches"] == 1
+
+    def test_deadline_expired_peers_succeed(self, rmat):
+        reg = GraphRegistry()
+        reg.add("g", rmat)
+        with Coalescer(reg, max_batch_delay=0.05) as co:
+            doomed = co.submit("g", "bfs", {"source": 0}, deadline_s=1e-9)
+            time.sleep(0.002)  # let the doomed deadline lapse
+            healthy = co.submit("g", "bfs", {"source": 1})
+            with pytest.raises(DeadlineExpired):
+                doomed.result(timeout=10)
+            res = healthy.result(timeout=10)
+            assert np.array_equal(res.value, repro.bfs(rmat, 1).distances)
+            assert co.stats()["expired"] == 1
+
+    def test_invalid_params_fail_fast(self, rmat):
+        reg = GraphRegistry()
+        reg.add("g", rmat)
+        with Coalescer(reg) as co:
+            with pytest.raises(TypeError):
+                co.submit("g", "bfs", {"source": 0, "bogus": 1})
+            with pytest.raises(ProtocolError):
+                co.submit("g", "bfs", {})  # missing the source operand
+
+    def test_max_batch_is_a_hard_cap(self, rmat):
+        # A burst piling more than max_batch requests onto one key
+        # between dispatcher wake-ups must still be split: max_batch=1
+        # means one kernel dispatch per request, never accidental
+        # merging (regression — the cap used to be only a flush
+        # trigger, so the whole accumulated key ran as one batch).
+        reg = GraphRegistry()
+        reg.add("g", rmat)
+        with Coalescer(reg, max_batch=1, max_batch_delay=0.05) as co:
+            futs = [
+                co.submit("g", "bfs", {"source": s}) for s in range(10)
+            ]
+            got = [f.result(timeout=30) for f in futs]
+        for s, res in enumerate(got):
+            assert np.array_equal(res.value, repro.bfs(rmat, s).distances)
+            assert res.extras["serve"]["batch_size"] == 1
+            assert not res.extras["serve"]["coalesced"]
+        stats = co.stats()
+        assert stats["batches"] == stats["requests"] == 10
+        assert stats["merged_requests"] == 0
+        assert stats["coalescing_hit_rate"] == 0.0
+
+    def test_missing_graph_is_structured(self, rmat):
+        reg = GraphRegistry()
+        with Coalescer(reg, max_batch_delay=0.001) as co:
+            fut = co.submit("nope", "bfs", {"source": 0})
+            with pytest.raises(GraphNotResident):
+                fut.result(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# HTTP server + client
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def server(tmp_path, rmat):
+    path = tmp_path / "g.txt"
+    graph_io.write_edge_list(rmat, str(path))
+    with ReproServer(ServeConfig(port=0, max_batch_delay=0.01)) as srv:
+        srv.start_background()
+        host, port = srv.address
+        client = ServeClient(host, port)
+        client.load(str(path), name="g")
+        yield srv, client, rmat
+
+
+class TestHTTP:
+    def test_concurrent_clients_bit_identical(self, server):
+        srv, client, g = server
+        host, port = srv.address
+        out = [None] * 6
+
+        def go(i):
+            out[i] = ServeClient(host, port).submit("g", "bfs", source=i)
+
+        threads = [threading.Thread(target=go, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(6):
+            iso = repro.bfs(g, i).distances
+            assert np.array_equal(
+                np.asarray(out[i]["value"], dtype=iso.dtype), iso
+            )
+        assert any(doc["serve"]["coalesced"] for doc in out)
+
+    def test_ticket_roundtrip(self, server):
+        _, client, g = server
+        ticket = client.submit("g", "closeness", wait=False)["ticket"]
+        doc = client.wait(ticket, timeout=60)
+        iso = repro.closeness_centrality(g)
+        assert np.allclose(np.asarray(doc["value"]), iso)
+
+    def test_structured_errors_over_wire(self, server):
+        _, client, _ = server
+        with pytest.raises(GraphNotResident):
+            client.submit("missing", "bfs", source=0)
+        with pytest.raises(ProtocolError):
+            client.submit("g", "bfs", bogus=True)
+        with pytest.raises(ProtocolError):
+            client.submit("g", "no_such_algorithm")
+
+    def test_schema_published_from_registry(self, server):
+        _, client, _ = server
+        doc = client.algorithms()
+        assert doc["version"] == 1
+        assert set(doc["algorithms"]) == set(repro.algorithm_names())
+        bfs_spec = doc["algorithms"]["bfs"]
+        assert bfs_spec["coalesce"] == "merge-sources"
+        assert [o["name"] for o in bfs_spec["operands"]] == ["source"]
+        assert doc["algorithms"]["pla"]["coalesce"] == "dedup-identical"
+
+    def test_stats_and_residency(self, server):
+        _, client, _ = server
+        client.submit("g", "bfs", source=0)
+        stats = client.stats()
+        assert stats["coalescer"]["requests"] >= 1
+        assert stats["registry"]["loads"] == 1
+        assert [e["name"] for e in client.graphs()["resident"]] == ["g"]
+
+    def test_evict_over_wire(self, server):
+        _, client, _ = server
+        assert client.evict("g") is True
+        assert client.evict("g") is False
+        with pytest.raises(GraphNotResident):
+            client.submit("g", "bfs", source=0)
+
+
+# ----------------------------------------------------------------------
+# repro.api facade
+# ----------------------------------------------------------------------
+class TestFacade:
+    def test_raw_graph_run_matches_engine(self, rmat):
+        res = api.run("closeness", rmat)
+        assert np.array_equal(res.value, repro.closeness_centrality(rmat))
+
+    def test_session_load_submit_run(self, tmp_path, rmat):
+        p = tmp_path / "g.txt"
+        graph_io.write_edge_list(rmat, str(p))
+        with api.Session(max_batch_delay=0.005) as s:
+            h = s.load(str(p), name="g")
+            assert h.describe()["n_vertices"] == rmat.n_vertices
+            fut = s.submit(h, "bfs", source=0)
+            res = s.run("bfs", h, source=1)
+            assert np.array_equal(
+                fut.result().value, repro.bfs(rmat, 0).distances
+            )
+            assert np.array_equal(res.value, repro.bfs(rmat, 1).distances)
+
+    def test_positional_operands_fold_by_name(self, rmat):
+        a = api.run("bfs", rmat, 0)
+        b = api.run("bfs", rmat, source=0)
+        assert np.array_equal(a.value.distances, b.value.distances)
+
+    def test_one_validation_path(self, rmat):
+        with pytest.raises(TypeError, match="bogus"):
+            api.run("bfs", rmat, source=0, bogus=1)
+        with api.Session() as s:
+            h = s.add("g", rmat)
+            with pytest.raises(TypeError, match="bogus"):
+                s.submit(h, "bfs", source=0, bogus=1)
+
+    def test_legacy_repro_run_warns_but_works(self, rmat):
+        with pytest.warns(DeprecationWarning):
+            res = repro.run("connected_components", rmat, trace=False)
+        assert res.value.shape == (rmat.n_vertices,)
+
+
+# ----------------------------------------------------------------------
+# Registry-generated specs
+# ----------------------------------------------------------------------
+class TestSpecs:
+    def test_every_algorithm_has_a_spec(self):
+        for name in repro.algorithm_names():
+            spec = algorithm_spec(name)
+            assert spec["name"] == name
+            assert isinstance(spec["operands"], list)
+            assert isinstance(spec["params"], dict)
+
+    def test_split_operands(self):
+        ops, kw = split_operands("bfs", {"source": 3, "max_depth": 2})
+        assert ops == (3,)
+        assert kw == {"max_depth": 2}
+        with pytest.raises(TypeError):
+            split_operands("bfs", {"max_depth": 2})
+
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(TypeError, match="accepted"):
+            validate_params("closeness", {"nope": 1})
+        validate_params("closeness", {"sources": [1], "wf_improved": False})

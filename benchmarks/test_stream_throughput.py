@@ -1,0 +1,138 @@
+"""Streaming-ingestion throughput gate: incremental must actually pay.
+
+The streaming engine's reason to exist is that maintaining analytics
+*incrementally* across batches beats recomputing them from scratch
+after every batch — the paper's transient-stream regime.  This harness
+streams an R-MAT scale-12 graph in add-event batches through two
+pipelines over the identical batch sequence:
+
+* **incremental** — one :class:`~repro.dynamic.StreamEngine` with the
+  cheap analytics set (components / stats / degree), applying each
+  batch in O(batch) amortized work;
+* **full recompute** — after each batch, materialize the snapshot and
+  rerun the batch algorithms (``connected_components``,
+  ``triangle_counts``, degree top-k) from scratch, which is what a
+  batch-only framework would have to do.
+
+Both produce per-batch component labels, triangle counts and degree
+top-k; the harness first asserts they *agree* on every batch (the same
+invariant ``repro check --stream`` proves exhaustively), then gates
+**incremental ≥ 5× full-recompute** on total wall time.  Closeness and
+community are excluded from the gate: their refreshes intentionally
+escalate to full recomputation when accuracy demands it (component
+invalidation / the modularity escalation guard), so they carry no
+asymptotic claim.
+
+Results land in ``benchmarks/results/stream_throughput.json``.
+Marked ``stream_full`` — excluded from tier-1; select with
+``-m stream_full``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.dynamic import StreamEngine, group_batches
+from repro.dynamic.engine import top_k
+from repro.dynamic.events import EdgeEvent
+from repro.graph.builder import from_edge_array
+from repro.kernels.connected import connected_components
+from repro.metrics import triangle_counts
+
+from _common import bench_scale, write_result_json
+
+pytestmark = pytest.mark.stream_full
+
+SCALE = 12
+EDGE_FACTOR = 8
+BATCH_EVENTS = 64
+K = 10
+GATE_SPEEDUP = 5.0
+
+
+def _event_batches():
+    scale = max(8, int(round(SCALE * bench_scale())))
+    g = generators.rmat(
+        scale, EDGE_FACTOR, rng=np.random.default_rng(11)
+    ).as_undirected()
+    src = np.repeat(np.arange(g.n_vertices), np.diff(g.offsets))
+    keep = src < g.targets
+    u, v = src[keep], g.targets[keep]
+    order = np.random.default_rng(12).permutation(u.shape[0])
+    events = [
+        EdgeEvent("add", int(u[i]), int(v[i]), t=int(j // BATCH_EVENTS))
+        for j, i in enumerate(order)
+    ]
+    return g.n_vertices, list(group_batches(events))
+
+
+def _run_incremental(n, batches):
+    engine = StreamEngine(
+        n, analytics=("components", "stats", "degree"), k=K
+    )
+    out = []
+    t0 = time.perf_counter()
+    for b in batches:
+        r = engine.apply_batch(b)
+        out.append((r.n_components, r.n_triangles, r.degree_topk))
+    return out, time.perf_counter() - t0
+
+
+def _run_full_recompute(n, batches):
+    live: dict[tuple[int, int], float] = {}
+    out = []
+    t0 = time.perf_counter()
+    for b in batches:
+        for ev in b:
+            if ev.u != ev.v:
+                live.setdefault(ev.key, float(ev.weight))
+        edges = sorted(live)
+        src = np.asarray([e[0] for e in edges], dtype=np.int64)
+        dst = np.asarray([e[1] for e in edges], dtype=np.int64)
+        w = np.ones(src.shape[0], dtype=np.float64)
+        snap = from_edge_array(
+            n, src, dst, weights=w, directed=False, dedupe=False
+        )
+        labels = connected_components(snap)
+        tri = int(triangle_counts(snap).sum()) // 3
+        # same normalization as degree_centrality (and the engine)
+        deg = snap.degrees().astype(np.float64) / max(1, n - 1)
+        out.append((len(np.unique(labels)), tri, top_k(deg, K)))
+    return out, time.perf_counter() - t0
+
+
+def test_incremental_beats_full_recompute():
+    n, batches = _event_batches()
+    inc, t_inc = _run_incremental(n, batches)
+    full, t_full = _run_full_recompute(n, batches)
+
+    # Same per-batch answers first — a fast wrong stream is worthless.
+    assert len(inc) == len(full)
+    for i, (a, b) in enumerate(zip(inc, full)):
+        assert a[0] == b[0], f"batch {i}: component count diverges"
+        assert a[1] == b[1], f"batch {i}: triangle count diverges"
+        assert a[2] == b[2], f"batch {i}: degree top-k diverges"
+
+    speedup = t_full / t_inc if t_inc > 0 else float("inf")
+    write_result_json("stream_throughput", {
+        "scale": SCALE,
+        "edge_factor": EDGE_FACTOR,
+        "n_vertices": n,
+        "n_batches": len(batches),
+        "events_per_batch": BATCH_EVENTS,
+        "analytics": ["components", "stats", "degree"],
+        "incremental_seconds": round(t_inc, 4),
+        "full_recompute_seconds": round(t_full, 4),
+        "speedup": round(speedup, 2),
+        "gate_speedup": GATE_SPEEDUP,
+        "batches_per_second_incremental": round(len(batches) / t_inc, 2),
+        "batches_per_second_full": round(len(batches) / t_full, 2),
+    })
+    assert speedup >= GATE_SPEEDUP, (
+        f"incremental path only {speedup:.1f}x faster than full "
+        f"recompute (gate: {GATE_SPEEDUP}x)"
+    )

@@ -61,6 +61,7 @@ from repro import (
     centrality,
     community,
     datasets,
+    dynamic,
     generators,
     graph,
     kernels,
@@ -78,7 +79,16 @@ from repro.centrality import (
     edge_betweenness_centrality,
     sampled_betweenness,
 )
-from repro.community import cnm, girvan_newman, pbd, pla, pma, spectral_modularity
+from repro.community import (
+    cnm,
+    girvan_newman,
+    local_resweep,
+    pbd,
+    pla,
+    pma,
+    spectral_modularity,
+)
+from repro.dynamic import StreamEngine, stream_replay
 from repro.errors import (
     ClusteringError,
     ConvergenceError,
@@ -163,6 +173,7 @@ __all__ = [
     "partitioning",
     "generators",
     "datasets",
+    "dynamic",
     "obs",
     # graph construction
     "Graph",
@@ -213,7 +224,11 @@ __all__ = [
     "pma",
     "pla",
     "cnm",
+    "local_resweep",
     "spectral_modularity",
+    # streaming
+    "StreamEngine",
+    "stream_replay",
     # partitioning
     "multilevel_bisection",
     "multilevel_recursive_bisection",

@@ -145,6 +145,10 @@ class Session:
             trace=trace,
         )
         self._closed = False
+        # Streaming ingestion state: one StreamEngine per resident name,
+        # surviving across ingest() calls so analytics stay incremental.
+        self.engines: dict = {}
+        self._ingest_lock = threading.Lock()
 
     # -- residency -----------------------------------------------------
     def load(
@@ -202,6 +206,58 @@ class Session:
             return _run_direct(algo, graph, self.ctx, merged)
         fut = self.submit(graph, algo, deadline_s=deadline_s, **merged)
         return fut.result()
+
+    def ingest(
+        self,
+        graph: Union[GraphHandle, str],
+        events: Any,
+        *,
+        analytics: Optional[list] = None,
+        k: int = 10,
+    ) -> dict:
+        """Apply streamed edge events onto a resident graph.
+
+        ``events`` is a sequence of :class:`~repro.dynamic.EdgeEvent`
+        (or ``(kind, u, v, t[, weight])`` tuples / equivalent dicts);
+        batches split on timestamp changes.  A per-name
+        :class:`~repro.dynamic.StreamEngine` maintains incremental
+        analytics across calls, and on return the resident snapshot is
+        atomically replaced so subsequent queries see the new graph.
+        Returns the same per-batch JSON summary as ``POST /v1/ingest``.
+        """
+        from repro.dynamic.events import EdgeEvent
+        from repro.serve.ingest import ingest_events
+
+        rows = []
+        for e in events:
+            if isinstance(e, EdgeEvent):
+                rows.append({
+                    "t": e.t, "kind": e.kind, "u": e.u, "v": e.v,
+                    "weight": e.weight,
+                })
+            elif isinstance(e, dict):
+                rows.append({
+                    "t": int(e["t"]), "kind": str(e["kind"]),
+                    "u": int(e["u"]), "v": int(e["v"]),
+                    "weight": float(e.get("weight", 1.0)),
+                })
+            else:
+                kind, u, v, t = e[0], e[1], e[2], e[3]
+                weight = e[4] if len(e) > 4 else 1.0
+                rows.append({
+                    "t": int(t), "kind": str(kind), "u": int(u),
+                    "v": int(v), "weight": float(weight),
+                })
+        with self._ingest_lock:
+            return ingest_events(
+                self.registry,
+                self.engines,
+                self._resolve(graph),
+                rows,
+                ctx=self.ctx,
+                analytics=list(analytics) if analytics is not None else None,
+                k=k,
+            )
 
     # -- lifecycle -----------------------------------------------------
     def stats(self) -> dict:

@@ -267,8 +267,152 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Streaming ingestion: apply timestamped edge batches, maintain
+    incremental analytics, print one line per batch (DESIGN.md §11)."""
+    from repro.dynamic import (
+        StreamEngine,
+        crawl_events,
+        group_batches,
+        read_events,
+        write_events,
+    )
+    from repro.dynamic.sources import CRAWL_POLICIES
+
+    analytics = tuple(
+        a.strip() for a in args.analytics.split(",") if a.strip()
+    )
+    if str(args.source).endswith(".events"):
+        n, events = read_events(args.source)
+        origin = f"{args.source} ({len(events)} events)"
+    else:
+        g = _load(args.source, directed=args.directed)
+        events = crawl_events(
+            g,
+            policy=args.policy,
+            batch_size=args.batch_size,
+            max_batches=args.max_batches,
+            rng=np.random.default_rng(args.seed),
+        )
+        n = g.n_vertices
+        origin = (
+            f"crawl of {args.source} (policy={args.policy}, "
+            f"{len(events)} events)"
+        )
+        if args.save_events:
+            write_events(args.save_events, events, n_vertices=n)
+            print(f"events written to {args.save_events}")
+    tracer = Tracer() if args.profile else None
+    t0 = time.perf_counter()
+    with _make_ctx(args, tracer) as ctx, (
+        use_tracer(tracer) if tracer else _nullcm()
+    ):
+        engine = StreamEngine(n, analytics=analytics, k=args.k, ctx=ctx)
+        print(f"stream: {origin} -> {n} vertices, analytics={analytics}")
+        rows = []
+        for batch in group_batches(events):
+            r = engine.apply_batch(batch)
+            line = (
+                f"  t={r.t:<4d} events={r.n_events:<4d} "
+                f"applied={r.n_applied:<4d} edges={r.n_edges:<6d}"
+            )
+            if r.n_components is not None:
+                line += f" components={r.n_components:<5d}"
+            if r.n_triangles is not None:
+                line += f" triangles={r.n_triangles:<6d}"
+            if r.modularity is not None:
+                line += f" Q={r.modularity:.4f}"
+            line += f" crc={r.checksum:08x}"
+            print(line)
+            rows.append(r)
+    dt = time.perf_counter() - t0
+    print(
+        f"stream done: {len(rows)} batches, {engine.n_edges} edges "
+        f"[{dt:.2f}s]"
+    )
+    _finish_profile(args, tracer, ctx, dt)
+    if args.output:
+        doc = {
+            "source": str(args.source),
+            "n_vertices": n,
+            "analytics": list(analytics),
+            "k": args.k,
+            "batches": [
+                {
+                    "t": r.t,
+                    "n_events": r.n_events,
+                    "n_applied": r.n_applied,
+                    "n_edges": r.n_edges,
+                    "n_components": r.n_components,
+                    "n_triangles": r.n_triangles,
+                    "n_wedges": r.n_wedges,
+                    "global_clustering": r.global_clustering,
+                    "degree_topk": r.degree_topk,
+                    "closeness_topk": r.closeness_topk,
+                    "modularity": r.modularity,
+                    "checksum": r.checksum,
+                }
+                for r in rows
+            ],
+        }
+        Path(args.output).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"results written to {args.output}")
+    return 0
+
+
+def _cmd_check_stream(args: argparse.Namespace) -> int:
+    """``repro check --stream``: the prefix-differential harness."""
+    from repro.qa import prefix as pfx
+
+    if args.fault is not None and args.fault not in pfx.PREFIX_FAULTS:
+        print(
+            f"check --stream: unknown fault {args.fault!r}; "
+            f"known: {', '.join(sorted(pfx.PREFIX_FAULTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    analytics = (
+        tuple(c.strip() for c in args.checks.split(",") if c.strip())
+        if args.checks
+        else pfx.ANALYTICS
+    )
+    backend = args.backends.split(",")[0].strip() or "serial"
+    if args.no_artifacts:
+        artifact_dir = None
+    elif args.artifacts is not None:
+        artifact_dir = Path(args.artifacts)
+    else:
+        artifact_dir = pfx.DEFAULT_ARTIFACT_DIR
+    report = pfx.run_prefix_differential(
+        args.seed,
+        n_graphs=args.graphs,
+        budget=args.budget,
+        analytics=analytics,
+        backend=backend,
+        n_workers=args.workers,
+        fault=args.fault,
+        artifact_dir=artifact_dir,
+        shrink_failures=not args.no_shrink,
+    )
+    print(report.summary())
+    for f in report.failures:
+        if f.artifact is not None:
+            print(f"  reproducer: {f.artifact}")
+    if report.ok:
+        print(
+            f"OK: {report.n_batches} batch prefixes matched full "
+            f"recomputation (analytics={'/'.join(analytics)})"
+        )
+    return 0 if report.ok else 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.qa import differential as diff
+
+    if args.stream:
+        return _cmd_check_stream(args)
 
     backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
     reps = tuple(
@@ -544,7 +688,42 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "numpy", "compiled"],
                    help="kernel tier to pin the checked contexts to "
                         "(compiled kernels vs pure-Python oracles)")
+    p.add_argument("--stream", action="store_true",
+                   help="run the streaming prefix-differential harness "
+                        "instead: replay every batch prefix of crawler "
+                        "event streams through the incremental engine "
+                        "against full recomputation")
     p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser(
+        "stream",
+        help="streaming ingestion: apply timestamped edge batches and "
+             "maintain incremental analytics batch-by-batch",
+    )
+    p.add_argument("source",
+                   help="an .events file, or a graph file to reveal "
+                        "through a crawler")
+    p.add_argument("--directed", action="store_true")
+    p.add_argument("--policy", default="bfs",
+                   choices=["rc", "rw", "bfs", "mod"],
+                   help="crawler policy when source is a graph file")
+    p.add_argument("--batch-size", type=int, default=8,
+                   help="vertex crawls per batch")
+    p.add_argument("--max-batches", type=int, default=None,
+                   help="truncate the crawl (partial reveal)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="crawler rng seed")
+    p.add_argument("--analytics", default="components,stats,degree",
+                   help="comma-separated incremental analytics: "
+                        "components, stats, degree, closeness, community")
+    p.add_argument("-k", type=int, default=10,
+                   help="top-k size for degree/closeness rankings")
+    p.add_argument("--save-events", default=None, metavar="PATH",
+                   help="write the generated crawl events for replay")
+    p.add_argument("-o", "--output", default=None,
+                   help="write per-batch results as JSON")
+    add_execution_flags(p)
+    p.set_defaults(fn=_cmd_stream)
 
     p = sub.add_parser(
         "chaos",

@@ -30,6 +30,7 @@ from repro.community.gn import girvan_newman
 from repro.community.pbd import pbd
 from repro.community.pla import pla
 from repro.community.best_known import BEST_KNOWN_MODULARITY, PAPER_TABLE2
+from repro.community.resweep import local_resweep
 from repro.community.spectral_mod import spectral_modularity
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "girvan_newman",
     "pbd",
     "pla",
+    "local_resweep",
     "BEST_KNOWN_MODULARITY",
     "PAPER_TABLE2",
     "spectral_modularity",

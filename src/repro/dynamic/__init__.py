@@ -9,10 +9,49 @@ machinery that extension needs:
   queries (deletions trigger an epoch rebuild, the standard trade-off);
 * :class:`~repro.dynamic.stream.StreamingStats` — exact degree
   statistics and triangle counts maintained per update, with a
-  windowed event log for burst detection.
+  windowed event log for burst detection;
+* :mod:`~repro.dynamic.events` — the timestamped edge-event vocabulary
+  and ``.events`` file format;
+* :mod:`~repro.dynamic.sources` — crawler policies (rc/rw/bfs/mod)
+  revealing a hidden graph batch-by-batch;
+* :class:`~repro.dynamic.engine.StreamEngine` — ingests event batches
+  and maintains incremental analytics (components, triangle/wedge
+  stats, degree/closeness top-k, community labels), checkpointable and
+  prefix-differentially tested (:mod:`repro.qa.prefix`).
 """
 
 from repro.dynamic.components import IncrementalComponents
+from repro.dynamic.engine import (
+    ANALYTICS,
+    BatchResult,
+    StreamEngine,
+    StreamReplayResult,
+    stream_replay,
+)
+from repro.dynamic.events import (
+    EdgeEvent,
+    canonical_final_edges,
+    group_batches,
+    read_events,
+    write_events,
+)
+from repro.dynamic.sources import CRAWL_POLICIES, crawl_events
 from repro.dynamic.stream import StreamingStats, StreamEvent
 
-__all__ = ["IncrementalComponents", "StreamingStats", "StreamEvent"]
+__all__ = [
+    "ANALYTICS",
+    "BatchResult",
+    "CRAWL_POLICIES",
+    "EdgeEvent",
+    "IncrementalComponents",
+    "StreamEngine",
+    "StreamEvent",
+    "StreamReplayResult",
+    "StreamingStats",
+    "canonical_final_edges",
+    "crawl_events",
+    "group_batches",
+    "read_events",
+    "stream_replay",
+    "write_events",
+]

@@ -118,6 +118,26 @@ class IncrementalComponents:
         return int(self._size[self._find(v)])
 
     def labels(self) -> np.ndarray:
-        """Component label per vertex (root ids)."""
+        """Canonical component labels: minimum vertex id per component.
+
+        The same convention as the batch
+        :func:`~repro.kernels.connected.connected_components` kernel,
+        so incremental and full-recompute labels are *bit-identical* —
+        the contract the streaming prefix-differential harness
+        (:mod:`repro.qa.prefix`) asserts per batch.
+        """
         self._ensure_fresh()
-        return np.asarray([self._find(v) for v in range(self._n)], dtype=np.int64)
+        if self._n == 0:
+            return np.empty(0, dtype=np.int64)
+        # Vectorized pointer jumping; trees are near-flat after path
+        # compression, so this converges in a couple of O(n) passes.
+        roots = self._parent.copy()
+        while True:
+            nxt = roots[roots]
+            if np.array_equal(nxt, roots):
+                break
+            roots = nxt
+        self._parent = roots.copy()  # full compression for later finds
+        first = np.full(self._n, self._n, dtype=np.int64)
+        np.minimum.at(first, roots, np.arange(self._n, dtype=np.int64))
+        return first[roots]

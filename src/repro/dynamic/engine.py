@@ -1,0 +1,492 @@
+"""Streaming ingestion engine: batches in, incremental analytics out.
+
+The engine applies timestamped edge batches onto the dynamic
+representations and maintains per-batch analytics *incrementally*
+instead of recomputing from scratch:
+
+* **components** — :class:`~repro.dynamic.components.IncrementalComponents`
+  (union–find; canonical min-vertex labels, bit-identical to the batch
+  kernel);
+* **stats** — :class:`~repro.dynamic.stream.StreamingStats` (exact
+  triangle/wedge/clustering counters, O(deg) per update);
+* **degree** — an integer degree array updated per edge, top-k scored
+  with the same op order as
+  :func:`~repro.centrality.degree.degree_centrality`;
+* **closeness** — per-vertex cache with *component-level invalidation*:
+  after a batch, only vertices in the (new) components of touched
+  endpoints can have changed — a new component containing no touched
+  vertex was a whole old component with an identical edge set, so its
+  cached values remain exact.  Only invalidated sources are re-solved;
+* **community** — labels repaired by
+  :func:`~repro.community.resweep.local_resweep` seeded around the
+  touched set, instead of full re-clustering.
+
+Every :class:`BatchResult` carries a CRC-32 checksum over its result
+arrays, which the prefix-differential harness (:mod:`repro.qa.prefix`),
+the chaos-recovery tests, and backend-parity tests compare bit-for-bit.
+
+Checkpoints store the applied batches themselves (a list of batches,
+not a flat event log — adjacent batches may share a timestamp after
+truncation, and community repair is cadence-sensitive), so
+:meth:`StreamEngine.restore` replays batch-by-batch and lands on the
+exact same state, checksums included.
+"""
+
+from __future__ import annotations
+
+import zlib
+from contextlib import nullcontext as _noop
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.dynamic.components import IncrementalComponents
+from repro.dynamic.events import EdgeEvent, group_batches
+from repro.dynamic.sources import crawl_events
+from repro.dynamic.stream import StreamingStats
+from repro.errors import GraphStructureError
+from repro.graph.csr import Graph
+from repro.graph.dynamic import DynamicGraph
+from repro.obs.api import algorithm
+from repro.parallel.runtime import ParallelContext, ensure_context
+
+__all__ = [
+    "ANALYTICS",
+    "BatchResult",
+    "StreamEngine",
+    "StreamReplayResult",
+    "stream_replay",
+]
+
+ANALYTICS = ("components", "stats", "degree", "closeness", "community")
+
+
+def top_k(scores: np.ndarray, k: int) -> list[tuple[int, float]]:
+    """Top-``k`` (vertex, score) pairs, ties broken by smaller id."""
+    n = scores.shape[0]
+    if n == 0 or k <= 0:
+        return []
+    order = np.lexsort((np.arange(n), -scores))[: min(k, n)]
+    return [(int(v), float(scores[v])) for v in order]
+
+
+def _crc(crc: int, arr: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(arr).tobytes(), crc)
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Analytics snapshot after applying one ingestion batch."""
+
+    t: int
+    n_events: int
+    n_applied: int
+    n_edges: int
+    labels: Optional[np.ndarray] = None
+    n_components: Optional[int] = None
+    n_triangles: Optional[int] = None
+    n_wedges: Optional[int] = None
+    global_clustering: Optional[float] = None
+    degree_topk: Optional[list[tuple[int, float]]] = None
+    closeness_topk: Optional[list[tuple[int, float]]] = None
+    community_labels: Optional[np.ndarray] = None
+    modularity: Optional[float] = None
+    checksum: int = 0
+
+
+class StreamEngine:
+    """Applies edge batches and maintains incremental analytics."""
+
+    def __init__(
+        self,
+        n_vertices: int,
+        *,
+        analytics: Sequence[str] = ("components", "stats", "degree"),
+        k: int = 10,
+        window: int = 1024,
+        resweep_passes: int = 16,
+        resweep_radius: int = 1,
+        community_escalate: bool = True,
+        ctx: Optional[ParallelContext] = None,
+    ) -> None:
+        for a in analytics:
+            if a not in ANALYTICS:
+                raise ValueError(
+                    f"unknown analytic {a!r}; choose from {ANALYTICS}"
+                )
+        self.n_vertices = int(n_vertices)
+        self.analytics = tuple(analytics)
+        self.k = int(k)
+        self.window = int(window)
+        self.resweep_passes = int(resweep_passes)
+        self.resweep_radius = int(resweep_radius)
+        self.community_escalate = bool(community_escalate)
+        self.ctx = ensure_context(ctx)
+        n = self.n_vertices
+
+        # Unsorted adjacency: O(1) amortized append per arc.  Snapshots
+        # stay bit-identical to sorted mode because the CSR builder
+        # lexsorts arcs by (src, dst) regardless of insertion order.
+        self._graph = DynamicGraph(n, sorted_adjacency=False)
+        self._cc = IncrementalComponents(n)
+        self._stats = (
+            StreamingStats(n, window=self.window)
+            if "stats" in self.analytics
+            else None
+        )
+        self._deg = np.zeros(n, dtype=np.int64)
+        # Closeness cache: all-zero is exact for the initial edgeless
+        # graph, so the cache starts fully valid.
+        self._clo = np.zeros(n, dtype=np.float64)
+        self._community = np.arange(n, dtype=np.int64)
+        self._modularity = 0.0
+        self._applied_batches: list[list[EdgeEvent]] = []
+        self._results: list[BatchResult] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_batches(self) -> int:
+        return len(self._applied_batches)
+
+    @property
+    def n_edges(self) -> int:
+        return self._graph.n_edges
+
+    @property
+    def results(self) -> list[BatchResult]:
+        return list(self._results)
+
+    def snapshot(self) -> Graph:
+        """Materialize the current edge set as a canonical CSR graph."""
+        return self._graph.to_csr()
+
+    # ------------------------------------------------------------------
+    def apply_events(self, events: Iterable[EdgeEvent]) -> list[BatchResult]:
+        """Group ``events`` by timestamp and apply each batch."""
+        return [self.apply_batch(batch) for batch in group_batches(events)]
+
+    def apply_batch(self, events: Sequence[EdgeEvent]) -> BatchResult:
+        """Apply one batch of events, refresh analytics, return results."""
+        events = list(events)
+        if not events:
+            raise GraphStructureError("cannot apply an empty batch")
+        tr = self.ctx.tracer
+        with (
+            tr.span(
+                "stream.batch",
+                batch_index=len(self._applied_batches),
+                n_events=len(events),
+            )
+            if tr
+            else _noop()
+        ):
+            result = self._apply_batch_inner(events)
+        self._applied_batches.append(events)
+        self._results.append(result)
+        return result
+
+    def _apply_batch_inner(self, events: list[EdgeEvent]) -> BatchResult:
+        n = self.n_vertices
+        touched: set[int] = set()
+        n_applied = 0
+        for ev in events:
+            if ev.u == ev.v:
+                continue  # self-loops carry no structure here
+            if not (0 <= ev.u < n and 0 <= ev.v < n):
+                raise GraphStructureError(
+                    f"event vertex out of range [0, {n}): {ev}"
+                )
+            if ev.kind == "add":
+                applied = self._graph.add_edge(ev.u, ev.v, weight=ev.weight)
+            else:
+                applied = self._graph.delete_edge(ev.u, ev.v)
+            if not applied:
+                continue
+            n_applied += 1
+            touched.add(ev.u)
+            touched.add(ev.v)
+            if ev.kind == "add":
+                self._cc.add_edge(ev.u, ev.v)
+                if self._stats is not None:
+                    self._stats.add_edge(ev.u, ev.v)
+                self._deg[ev.u] += 1
+                self._deg[ev.v] += 1
+            else:
+                self._cc.delete_edge(ev.u, ev.v)
+                if self._stats is not None:
+                    self._stats.delete_edge(ev.u, ev.v)
+                self._deg[ev.u] -= 1
+                self._deg[ev.v] -= 1
+
+        tr = self.ctx.tracer
+        kw: dict[str, Any] = {}
+        crc = 0
+        labels: Optional[np.ndarray] = None
+        snap: Optional[Graph] = None
+
+        def need_snapshot() -> Graph:
+            nonlocal snap
+            if snap is None:
+                snap = self.snapshot()
+            return snap
+
+        if "components" in self.analytics:
+            with tr.span("stream.components") if tr else _noop():
+                labels = self._cc.labels()
+            kw["labels"] = labels
+            kw["n_components"] = self._cc.n_components
+            crc = _crc(crc, labels)
+        if "stats" in self.analytics and self._stats is not None:
+            with tr.span("stream.stats") if tr else _noop():
+                kw["n_triangles"] = self._stats.n_triangles
+                kw["n_wedges"] = self._stats.n_wedges
+                kw["global_clustering"] = self._stats.global_clustering
+            crc = _crc(
+                crc,
+                np.asarray(
+                    [kw["n_triangles"], kw["n_wedges"]], dtype=np.int64
+                ),
+            )
+            crc = _crc(
+                crc, np.asarray([kw["global_clustering"]], dtype=np.float64)
+            )
+        if "degree" in self.analytics:
+            with tr.span("stream.degree") if tr else _noop():
+                scores = self._deg.astype(np.float64)
+                if n > 1:
+                    scores /= n - 1
+                kw["degree_topk"] = top_k(scores, self.k)
+            crc = _crc(crc, scores)
+        if "closeness" in self.analytics:
+            with (
+                tr.span("stream.closeness") if tr else _noop()
+            ):
+                self._refresh_closeness(touched, need_snapshot)
+                kw["closeness_topk"] = top_k(self._clo, self.k)
+            crc = _crc(crc, self._clo)
+        if "community" in self.analytics and n > 0:
+            with tr.span("stream.community") if tr else _noop():
+                self._refresh_community(touched, need_snapshot)
+            kw["community_labels"] = self._community.copy()
+            kw["modularity"] = self._modularity
+            crc = _crc(crc, self._community)
+            crc = _crc(crc, np.asarray([self._modularity], dtype=np.float64))
+
+        t = int(events[0].t)
+        return BatchResult(
+            t=t,
+            n_events=len(events),
+            n_applied=n_applied,
+            n_edges=self._graph.n_edges,
+            checksum=crc,
+            **kw,
+        )
+
+    # ------------------------------------------------------------------
+    def _refresh_closeness(self, touched: set[int], need_snapshot) -> None:
+        """Re-solve only sources whose component a touched vertex joined.
+
+        Invalidation rule: a vertex's closeness can change only if its
+        *new* component contains a touched endpoint — otherwise that
+        component is an old component with an identical edge set (any
+        edge added to it or deleted from its boundary would have put a
+        touched endpoint inside), so the cached value is still exact.
+        """
+        if not touched or self.n_vertices == 0:
+            return
+        from repro.centrality.closeness import closeness_centrality
+
+        cc_labels = self._cc.labels()
+        hot = np.unique(cc_labels[np.asarray(sorted(touched), dtype=np.int64)])
+        invalid = np.nonzero(np.isin(cc_labels, hot))[0]
+        fresh = closeness_centrality(
+            need_snapshot(), sources=invalid.tolist(), ctx=self.ctx
+        )
+        self._clo[invalid] = fresh[invalid]
+
+    def _refresh_community(self, touched: set[int], need_snapshot) -> None:
+        """Repair the partition locally; escalate if repair falls behind.
+
+        The localized re-sweep is the fast path and usually wins (warm
+        start + full settle), but a warm start can trap the partition
+        in a local optimum a fresh run escapes.  With
+        ``community_escalate`` (default) the engine also runs a fresh
+        single-level pLA and keeps the higher-Q partition — ties prefer
+        the repair, preserving label continuity across batches.  This
+        makes the harness invariant *modularity ≥ full single-level
+        re-run* unconditional rather than empirical.
+        """
+        from repro.community.pla import pla
+        from repro.community.resweep import local_resweep
+
+        if not touched:
+            return
+        snap = need_snapshot()
+        res = local_resweep(
+            snap,
+            labels=self._community,
+            touched=sorted(touched),
+            radius=self.resweep_radius,
+            max_passes=self.resweep_passes,
+            ctx=self.ctx,
+        )
+        labels, q = res.labels, float(res.modularity)
+        if self.community_escalate and snap.n_arcs > 0:
+            full = pla(snap, seed=0, ctx=self.ctx)
+            if float(full.modularity) > q:
+                labels = np.unique(full.labels, return_inverse=True)[1]
+                q = float(full.modularity)
+        self._community = np.asarray(labels, dtype=np.int64)
+        self._modularity = q
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict[str, Any]:
+        """Serializable state: config plus the applied batch log."""
+        return {
+            "version": 1,
+            "n_vertices": self.n_vertices,
+            "analytics": list(self.analytics),
+            "k": self.k,
+            "window": self.window,
+            "resweep_passes": self.resweep_passes,
+            "resweep_radius": self.resweep_radius,
+            "community_escalate": self.community_escalate,
+            "batches": [
+                [(ev.kind, ev.u, ev.v, ev.t, ev.weight) for ev in batch]
+                for batch in self._applied_batches
+            ],
+        }
+
+    @classmethod
+    def restore(
+        cls, state: dict[str, Any], *, ctx: Optional[ParallelContext] = None
+    ) -> "StreamEngine":
+        """Rebuild an engine by replaying the checkpointed batch log.
+
+        Replay is batch-by-batch (community repair and burst windows
+        are cadence-sensitive), so the restored engine's per-batch
+        checksums match the original's bit-for-bit.
+        """
+        engine = cls(
+            state["n_vertices"],
+            analytics=tuple(state["analytics"]),
+            k=state["k"],
+            window=state["window"],
+            resweep_passes=state["resweep_passes"],
+            resweep_radius=state["resweep_radius"],
+            community_escalate=state.get("community_escalate", True),
+            ctx=ctx,
+        )
+        for batch in state["batches"]:
+            engine.apply_batch(
+                [
+                    EdgeEvent(kind, u, v, t=t, weight=w)
+                    for kind, u, v, t, w in batch
+                ]
+            )
+        return engine
+
+    @classmethod
+    def from_graph(cls, graph: Graph, **kwargs: Any) -> "StreamEngine":
+        """Seed an engine with an existing graph as one ``t=0`` batch."""
+        g = graph.as_undirected() if graph.directed else graph
+        engine = cls(g.n_vertices, **kwargs)
+        src, tgt, w = g.arc_sources(), g.targets, g.edge_weights()
+        keep = src < tgt
+        batch = [
+            EdgeEvent("add", int(u), int(v), t=0, weight=float(wt))
+            for u, v, wt in zip(
+                src[keep],
+                tgt[keep],
+                g.weights[keep] if g.is_weighted else np.ones(keep.sum()),
+            )
+        ]
+        if batch:
+            engine.apply_batch(batch)
+        return engine
+
+
+# ---------------------------------------------------------------------------
+# stream_replay: the registered streaming entrypoint
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class StreamReplayResult:
+    """Final state and per-batch audit trail of a crawler replay."""
+
+    n_batches: int
+    n_edges: int
+    labels: np.ndarray  # final connected-component labels
+    n_components: int
+    n_triangles: int
+    n_wedges: int
+    global_clustering: float
+    batch_checksums: np.ndarray  # int64, one CRC per applied batch
+    degree_topk: list[tuple[int, float]] = field(default_factory=list)
+    closeness_topk: list[tuple[int, float]] = field(default_factory=list)
+    community_labels: Optional[np.ndarray] = None
+    modularity: Optional[float] = None
+
+
+@algorithm("stream_replay")
+def stream_replay(
+    graph: Graph,
+    *,
+    policy: str = "bfs",
+    batch_size: int = 8,
+    max_batches: Optional[int] = None,
+    analytics: Sequence[str] = ("components", "stats", "degree"),
+    k: int = 8,
+    window: int = 1024,
+    resweep_passes: int = 8,
+    resweep_radius: int = 1,
+    rng: Optional[np.random.Generator] = None,
+    ctx: Optional[ParallelContext] = None,
+) -> StreamReplayResult:
+    """Reveal ``graph`` through a crawler and maintain analytics live.
+
+    The graph plays the *hidden* network; a seeded crawler
+    (:func:`~repro.dynamic.sources.crawl_events`) emits add-event
+    batches, and a :class:`StreamEngine` ingests them.  Deterministic
+    given ``seed``/``rng``, so serial/thread/process backends produce
+    identical per-batch checksums — the backend-parity suite asserts
+    exactly that.
+    """
+    ctx = ensure_context(ctx)
+    events = crawl_events(
+        graph,
+        policy=policy,
+        batch_size=batch_size,
+        max_batches=max_batches,
+        rng=rng,
+    )
+    engine = StreamEngine(
+        graph.n_vertices,
+        analytics=analytics,
+        k=k,
+        window=window,
+        resweep_passes=resweep_passes,
+        resweep_radius=resweep_radius,
+        ctx=ctx,
+    )
+    results = engine.apply_events(events)
+    last = results[-1] if results else None
+    stats = engine._stats
+    return StreamReplayResult(
+        n_batches=len(results),
+        n_edges=engine.n_edges,
+        labels=engine._cc.labels(),
+        n_components=engine._cc.n_components,
+        n_triangles=stats.n_triangles if stats is not None else 0,
+        n_wedges=stats.n_wedges if stats is not None else 0,
+        global_clustering=(
+            stats.global_clustering if stats is not None else 0.0
+        ),
+        batch_checksums=np.asarray(
+            [r.checksum for r in results], dtype=np.int64
+        ),
+        degree_topk=(last.degree_topk or []) if last else [],
+        closeness_topk=(last.closeness_topk or []) if last else [],
+        community_labels=last.community_labels if last else None,
+        modularity=last.modularity if last else None,
+    )

@@ -1,0 +1,163 @@
+"""Timestamped edge-event model for streaming ingestion.
+
+The streaming workload (paper §1: "modeling and analysis of massive,
+transient data streams") is driven by *edge events*: timestamped
+insertions and deletions applied batch-by-batch onto the dynamic
+representations.  This module is the event vocabulary shared by the
+:class:`~repro.dynamic.engine.StreamEngine`, the crawler sources
+(:mod:`repro.dynamic.sources`), the prefix-differential harness
+(:mod:`repro.qa.prefix`) and the ``.events`` file format.
+
+``.events`` file format (whitespace-separated text)::
+
+    # repro events v1
+    # n_vertices: 34
+    0 + 0 1          <- timestamp, op (+/-), u, v
+    0 + 1 2 2.5      <- optional weight
+    1 - 0 1
+
+Events sharing a timestamp form one *batch*; timestamps must be
+non-decreasing so a file replays deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.errors import GraphStructureError
+
+__all__ = [
+    "EdgeEvent",
+    "group_batches",
+    "canonical_final_edges",
+    "read_events",
+    "write_events",
+]
+
+
+@dataclass(frozen=True)
+class EdgeEvent:
+    """One timestamped structural update: insert or delete edge (u, v)."""
+
+    kind: str  # "add" | "delete"
+    u: int
+    v: int
+    t: int = 0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("add", "delete"):
+            raise GraphStructureError(
+                f"event kind must be 'add' or 'delete', got {self.kind!r}"
+            )
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """Canonical unordered endpoint pair."""
+        return (self.u, self.v) if self.u <= self.v else (self.v, self.u)
+
+
+def group_batches(events: Iterable[EdgeEvent]) -> Iterator[list[EdgeEvent]]:
+    """Yield events grouped by timestamp, preserving in-batch order.
+
+    Timestamps must be non-decreasing — a regression in the stream is a
+    corrupt event log, not a batch boundary.
+    """
+    batch: list[EdgeEvent] = []
+    last_t: Optional[int] = None
+    for ev in events:
+        if last_t is not None and ev.t < last_t:
+            raise GraphStructureError(
+                f"event timestamps must be non-decreasing "
+                f"(saw {ev.t} after {last_t})"
+            )
+        if last_t is not None and ev.t != last_t and batch:
+            yield batch
+            batch = []
+        batch.append(ev)
+        last_t = ev.t
+    if batch:
+        yield batch
+
+
+def canonical_final_edges(
+    events: Iterable[EdgeEvent],
+) -> list[tuple[int, int, float]]:
+    """The surviving ``(u, v, w)`` edge set after replaying ``events``.
+
+    Apply-in-order semantics: a delete removes the edge, a re-insert
+    brings it back (with the re-insert's weight); self-loops are
+    ignored; re-adding a present edge keeps the first weight.  This is
+    exactly what the :class:`~repro.dynamic.engine.StreamEngine`
+    materializes, so harnesses can build the reference snapshot
+    independently of the engine.
+    """
+    live: dict[tuple[int, int], float] = {}
+    for ev in events:
+        if ev.u == ev.v:
+            continue
+        key = ev.key
+        if ev.kind == "add":
+            live.setdefault(key, float(ev.weight))
+        else:
+            live.pop(key, None)
+    return sorted((u, v, w) for (u, v), w in live.items())
+
+
+# ---------------------------------------------------------------------------
+# .events file IO
+# ---------------------------------------------------------------------------
+_OPS = {"+": "add", "-": "delete"}
+_OPS_INV = {"add": "+", "delete": "-"}
+
+
+def write_events(
+    path, events: Sequence[EdgeEvent], *, n_vertices: int
+) -> None:
+    """Write an ``.events`` file (see module docstring for the format)."""
+    lines = ["# repro events v1", f"# n_vertices: {int(n_vertices)}"]
+    for ev in events:
+        row = f"{ev.t} {_OPS_INV[ev.kind]} {ev.u} {ev.v}"
+        if ev.weight != 1.0:
+            row += f" {ev.weight!r}"
+        lines.append(row)
+    with open(path, "w") as f:
+        f.write("\n".join(lines) + "\n")
+
+
+def read_events(path) -> tuple[int, list[EdgeEvent]]:
+    """Parse an ``.events`` file → ``(n_vertices, events)``.
+
+    ``n_vertices`` comes from the header when present, else
+    ``max id + 1`` over the events.
+    """
+    n_vertices: Optional[int] = None
+    events: list[EdgeEvent] = []
+    max_id = -1
+    with open(path) as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.strip()
+            if line.startswith("#"):
+                body = line.lstrip("#").strip()
+                if body.startswith("n_vertices:"):
+                    n_vertices = int(body.split(":", 1)[1])
+                continue
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) not in (4, 5) or parts[1] not in _OPS:
+                raise GraphStructureError(
+                    f"{path}:{lineno}: expected 't +|- u v [w]', got {line!r}"
+                )
+            t, u, v = int(parts[0]), int(parts[2]), int(parts[3])
+            w = float(parts[4]) if len(parts) == 5 else 1.0
+            events.append(EdgeEvent(_OPS[parts[1]], u, v, t=t, weight=w))
+            max_id = max(max_id, u, v)
+    if n_vertices is None:
+        n_vertices = max_id + 1
+    if max_id >= n_vertices:
+        raise GraphStructureError(
+            f"{path}: event vertex {max_id} out of range [0, {n_vertices})"
+        )
+    return n_vertices, events

@@ -1,0 +1,148 @@
+"""Crawler-driven event sources: reveal a hidden graph batch-by-batch.
+
+The production streaming shape (ROADMAP item 1): an *observed* graph
+grows by crawl batches from a hidden original graph, with analytics
+maintained as it grows.  Each crawl step picks an observed-but-not-yet-
+crawled vertex by a policy, queries the hidden graph for its incident
+edges, and emits an ``add`` event for every edge not yet revealed.
+``batch_size`` crawl steps share one timestamp, forming one ingestion
+batch.
+
+Policies (the classic crawler family):
+
+* ``rc``  — random crawl: a uniformly random observed uncrawled vertex;
+* ``rw``  — random walk: walk the *observed* graph, crawling each
+  uncrawled vertex it lands on, teleporting when stuck;
+* ``bfs`` — breadth-first: FIFO over the observation frontier;
+* ``mod`` — maximum observed degree: the frontier vertex with the most
+  already-revealed incident edges (ties to the smallest id).
+
+When the frontier empties (component exhausted), the crawler seeds
+from the lowest-id unobserved vertex that has hidden edges, so every
+edge of the hidden graph is eventually revealed.  Given an ``rng``
+seed the emitted event list is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.dynamic.events import EdgeEvent
+from repro.graph.csr import Graph
+
+__all__ = ["CRAWL_POLICIES", "crawl_events"]
+
+CRAWL_POLICIES = ("rc", "rw", "bfs", "mod")
+
+
+def crawl_events(
+    hidden: Graph,
+    *,
+    policy: str = "bfs",
+    batch_size: int = 8,
+    max_batches: Optional[int] = None,
+    start: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> list[EdgeEvent]:
+    """Reveal ``hidden`` through a crawler; returns timestamped events.
+
+    ``batch_size`` is the number of vertex crawls per batch (one
+    timestamp).  ``max_batches`` truncates the stream (the observed
+    graph is then a partial view — exactly the transient-stream
+    regime); by default the crawl runs until every vertex with at
+    least one edge has been crawled.
+    """
+    if policy not in CRAWL_POLICIES:
+        raise ValueError(
+            f"policy must be one of {CRAWL_POLICIES}, got {policy!r}"
+        )
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    n = hidden.n_vertices
+    g = hidden.as_undirected() if hidden.directed else hidden
+
+    degrees = g.degrees()
+    observed = np.zeros(n, dtype=bool)  # seen as an endpoint
+    crawled = np.zeros(n, dtype=bool)  # neighbors queried
+    observed_degree = np.zeros(n, dtype=np.int64)  # revealed incident edges
+    frontier: deque[int] = deque()  # bfs order; other policies treat as a set
+    revealed: set[tuple[int, int]] = set()
+    events: list[EdgeEvent] = []
+
+    def seed() -> Optional[int]:
+        """Lowest-id uncrawled vertex that still has hidden edges."""
+        candidates = np.nonzero(~crawled & (degrees > 0))[0]
+        return int(candidates[0]) if candidates.shape[0] else None
+
+    def pick(walker: list[int]) -> Optional[int]:
+        """Next vertex to crawl under the policy; None when exhausted."""
+        while frontier and crawled[frontier[0]]:
+            frontier.popleft()
+        live = [v for v in frontier if not crawled[v]]
+        if not live:
+            return None
+        if policy == "bfs":
+            return int(frontier[0])
+        if policy == "rc":
+            return int(live[int(rng.integers(len(live)))])
+        if policy == "mod":
+            deg = observed_degree[live]
+            return int(live[int(np.lexsort((live, -deg))[0])])
+        # rw: continue the walk along revealed edges; teleport when the
+        # current position is exhausted or not yet placed.
+        pos = walker[0]
+        if pos >= 0 and not crawled[pos]:
+            return pos
+        if pos >= 0:
+            nbrs = [
+                int(x) for x in g.neighbors(pos)
+                if (min(pos, int(x)), max(pos, int(x))) in revealed
+            ]
+            steps = [v for v in nbrs if not crawled[v]]
+            if steps:
+                return steps[int(rng.integers(len(steps)))]
+        return int(live[int(rng.integers(len(live)))])
+
+    def crawl(v: int, t: int) -> None:
+        crawled[v] = True
+        observed[v] = True
+        for x in g.neighbors(v):
+            x = int(x)
+            key = (min(v, x), max(v, x))
+            if key in revealed or v == x:
+                continue
+            revealed.add(key)
+            w = 1.0
+            if g.is_weighted:
+                lo, hi = g.arc_range(v)
+                i = lo + int(np.nonzero(g.targets[lo:hi] == x)[0][0])
+                w = float(g.weights[i])
+            events.append(EdgeEvent("add", key[0], key[1], t=t, weight=w))
+            observed_degree[v] += 1
+            observed_degree[x] += 1
+            if not observed[x]:
+                observed[x] = True
+                frontier.append(x)
+
+    walker = [-1]  # rw position (list so `pick` can read it mutably)
+    t = 0
+    while max_batches is None or t < max_batches:
+        crawled_this_batch = 0
+        for _ in range(batch_size):
+            v = pick(walker)
+            if v is None:
+                v = seed()
+                if v is None:
+                    break
+                frontier.append(v)
+            crawl(v, t)
+            walker[0] = v
+            crawled_this_batch += 1
+        if crawled_this_batch == 0:
+            break
+        t += 1
+    return events

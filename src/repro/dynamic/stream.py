@@ -85,10 +85,10 @@ class StreamingStats:
 
     def add_edge(self, u: int, v: int) -> bool:
         """Insert (u, v); updates all statistics; False if present."""
-        common = self._adj.common_neighbors(u, v)
+        common = self._adj.count_common(u, v)
         if not self._adj.add_edge(u, v):
             return False
-        self.n_triangles += int(common.shape[0])
+        self.n_triangles += common
         self._degree_delta(u, +1)
         self._degree_delta(v, +1)
         self._clock += 1
@@ -100,8 +100,7 @@ class StreamingStats:
         if not self._adj.has_edge(u, v):
             return False
         self._adj.delete_edge(u, v)
-        common = self._adj.common_neighbors(u, v)
-        self.n_triangles -= int(common.shape[0])
+        self.n_triangles -= self._adj.count_common(u, v)
         self._degree_delta(u, -1)
         self._degree_delta(v, -1)
         self._clock += 1

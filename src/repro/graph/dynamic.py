@@ -149,8 +149,18 @@ class DynamicGraph:
         src = np.concatenate(srcs) if srcs else np.empty(0, dtype=VERTEX_DTYPE)
         dst = np.concatenate(dsts) if dsts else np.empty(0, dtype=VERTEX_DTYPE)
         w = np.concatenate(ws) if ws else np.empty(0, dtype=WEIGHT_DTYPE)
+        # Canonical (u, v) edge order so edge ids — and everything
+        # indexed by them, e.g. edge_weights() — are independent of the
+        # adjacency mode and insertion history.  A stable no-op
+        # permutation when sorted_adjacency=True.
+        order = np.lexsort((dst, src))
         return builder.from_edge_array(
-            self._n, src, dst, weights=w, directed=False, dedupe=False
+            self._n,
+            src[order],
+            dst[order],
+            weights=w[order],
+            directed=False,
+            dedupe=False,
         )
 
     @classmethod

@@ -21,35 +21,39 @@ DEFAULT_DEGREE_THRESHOLD = 32
 
 
 class _ArrayAdj:
-    """Unsorted dynamic adjacency for one low-degree vertex."""
+    """Unsorted dynamic adjacency for one low-degree vertex.
 
-    __slots__ = ("ids", "count")
+    Backed by a plain Python list: for the handful of neighbors a
+    low-degree vertex carries, list append / swap-delete run entirely
+    in C and beat per-call numpy dispatch overhead on tiny arrays.
+    """
+
+    __slots__ = ("ids",)
 
     def __init__(self) -> None:
-        self.ids = np.empty(4, dtype=VERTEX_DTYPE)
-        self.count = 0
+        self.ids: list[int] = []
+
+    @property
+    def count(self) -> int:
+        return len(self.ids)
 
     def contains(self, v: int) -> bool:
-        return bool(np.any(self.ids[: self.count] == v))
+        return v in self.ids
 
     def add(self, v: int) -> None:
-        if self.count == self.ids.shape[0]:
-            self.ids = np.resize(self.ids, 2 * self.count)
-        self.ids[self.count] = v
-        self.count += 1
+        self.ids.append(v)
 
     def remove(self, v: int) -> bool:
-        live = self.ids[: self.count]
-        hits = np.nonzero(live == v)[0]
-        if not hits.shape[0]:
+        try:
+            i = self.ids.index(v)
+        except ValueError:
             return False
-        i = int(hits[0])
-        live[i] = live[self.count - 1]
-        self.count -= 1
+        self.ids[i] = self.ids[-1]
+        self.ids.pop()
         return True
 
     def to_sorted_array(self) -> np.ndarray:
-        return np.sort(self.ids[: self.count])
+        return np.asarray(sorted(self.ids), dtype=VERTEX_DTYPE)
 
 
 class HybridAdjacency:
@@ -76,6 +80,10 @@ class HybridAdjacency:
         self.degree_threshold = int(degree_threshold)
         self._seed = seed
         self._slots: list[_ArrayAdj | Treap] = [_ArrayAdj() for _ in range(self._n)]
+        # Membership mirror: one set per vertex, kept in lockstep with
+        # the slots.  Gives O(1) has_edge and O(min-degree) common-
+        # neighbor *counting* regardless of the slot representation.
+        self._sets: list[set[int]] = [set() for _ in range(self._n)]
         self._m = 0
 
     # ------------------------------------------------------------------
@@ -108,8 +116,7 @@ class HybridAdjacency:
     def has_edge(self, u: int, v: int) -> bool:
         self._check(u)
         self._check(v)
-        slot = self._slots[u]
-        return (v in slot) if isinstance(slot, Treap) else slot.contains(v)
+        return v in self._sets[u]
 
     # ------------------------------------------------------------------
     def add_edge(self, u: int, v: int) -> bool:
@@ -117,8 +124,10 @@ class HybridAdjacency:
         self._check(v)
         if u == v:
             raise GraphStructureError("self-loops are not supported")
-        if self.has_edge(u, v):
+        if v in self._sets[u]:
             return False
+        self._sets[u].add(v)
+        self._sets[v].add(u)
         self._add_half(u, v)
         self._add_half(v, u)
         self._m += 1
@@ -127,8 +136,10 @@ class HybridAdjacency:
     def delete_edge(self, u: int, v: int) -> bool:
         self._check(u)
         self._check(v)
-        if not self.has_edge(u, v):
+        if v not in self._sets[u]:
             return False
+        self._sets[u].discard(v)
+        self._sets[v].discard(u)
         self._del_half(u, v)
         self._del_half(v, u)
         self._m -= 1
@@ -156,7 +167,7 @@ class HybridAdjacency:
         arr = self._slots[u]
         assert isinstance(arr, _ArrayAdj)
         t = Treap(seed=self._seed ^ (u * 0x9E3779B1 & 0x7FFFFFFF))
-        for v in arr.ids[: arr.count]:
+        for v in arr.ids:
             t.insert(int(v))
         self._slots[u] = t
 
@@ -180,6 +191,21 @@ class HybridAdjacency:
         if isinstance(su, Treap) and isinstance(sv, Treap):
             return su.intersection(sv).keys_array()
         return np.intersect1d(self.neighbors(u), self.neighbors(v))
+
+    def count_common(self, u: int, v: int) -> int:
+        """Number of common neighbors of ``u`` and ``v``.
+
+        Counting-only fast path over the membership mirror —
+        O(min degree) set intersection with no sorted materialization,
+        the hot operation behind per-edge triangle deltas in
+        :class:`~repro.dynamic.stream.StreamingStats`.
+        """
+        self._check(u)
+        self._check(v)
+        su, sv = self._sets[u], self._sets[v]
+        if len(su) > len(sv):
+            su, sv = sv, su
+        return len(su & sv)
 
     @classmethod
     def from_csr(

@@ -9,9 +9,14 @@ Three layers, each usable on its own:
 * :mod:`repro.qa.differential` — the seeded fuzz driver that crosses a
   graph corpus with all backend × representation combinations, compares
   against the oracles, and shrinks failures to minimal edge-list
-  reproducers.
+  reproducers;
+* :mod:`repro.qa.prefix` — the streaming prefix-differential driver
+  that replays every batch prefix of crawler event streams through the
+  incremental engine against full recomputation, shrinking failures to
+  minimal ``.events`` reproducers.
 
-CLI front door: ``python -m repro check --seed 0``.
+CLI front door: ``python -m repro check --seed 0`` (add ``--stream``
+for the prefix-differential harness).
 """
 
 from repro.qa.invariants import (
@@ -36,6 +41,15 @@ from repro.qa.differential import (
     run_differential,
     shrink,
 )
+from repro.qa.prefix import (
+    PREFIX_FAULTS,
+    PrefixFailure,
+    PrefixReport,
+    check_events,
+    event_stream,
+    run_prefix_differential,
+    shrink_events,
+)
 
 __all__ = [
     "InvariantViolation",
@@ -56,4 +70,11 @@ __all__ = [
     "corpus",
     "run_differential",
     "shrink",
+    "PREFIX_FAULTS",
+    "PrefixFailure",
+    "PrefixReport",
+    "check_events",
+    "event_stream",
+    "run_prefix_differential",
+    "shrink_events",
 ]

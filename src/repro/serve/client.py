@@ -106,6 +106,20 @@ class ServeClient:
             body["name"] = name
         return self._request("POST", "/v1/load", body)[1]
 
+    def ingest(
+        self, graph: str, events: list, *,
+        analytics: Optional[list] = None,
+        k: Optional[int] = None,
+    ) -> dict:
+        """Apply edge events (``[t, op, u, v(, w)]`` rows) to a resident
+        graph; returns the per-batch incremental-analytics summary."""
+        body: dict = {"graph": graph, "events": events}
+        if analytics is not None:
+            body["analytics"] = list(analytics)
+        if k is not None:
+            body["k"] = k
+        return self._request("POST", "/v1/ingest", body)[1]
+
     def evict(self, name: str) -> bool:
         return bool(self._request("POST", "/v1/evict", {"name": name})[1]["evicted"])
 

@@ -1,0 +1,94 @@
+"""Streaming ingestion into resident graphs: the shared serve-side path.
+
+``POST /v1/ingest`` (daemon) and :meth:`repro.api.Session.ingest`
+(embedded) both land here: a resident graph gets a lazily-created
+:class:`~repro.dynamic.engine.StreamEngine` seeded from its current
+edge set; each ingest call applies the posted event batches, refreshes
+the engine's incremental analytics, and atomically swaps the registry
+entry for the new materialized snapshot so every subsequent query runs
+against the updated graph.
+
+The per-name engines dict is the *stream session state* — it survives
+across ingest calls so analytics stay incremental (and checkpointable)
+rather than rebuilt from scratch per request.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.dynamic.engine import StreamEngine
+from repro.dynamic.events import EdgeEvent, group_batches
+from repro.errors import ProtocolError
+
+__all__ = ["ingest_events"]
+
+
+def ingest_events(
+    registry,
+    engines: dict[str, StreamEngine],
+    name: str,
+    events: list[dict],
+    *,
+    ctx=None,
+    analytics: Optional[list[str]] = None,
+    k: int = 10,
+) -> dict[str, Any]:
+    """Apply event batches onto resident graph ``name``; returns a
+    JSON-ready summary of the per-batch incremental results.
+
+    The caller must serialize calls per registry (the server holds one
+    ingest lock); the registry swap itself is atomic.
+    """
+    entry = registry.get(name)  # raises GraphNotResident
+    engine = engines.get(name)
+    if engine is None:
+        engine = StreamEngine.from_graph(
+            entry.graph,
+            analytics=tuple(analytics or ("components", "stats", "degree")),
+            k=k,
+            ctx=ctx,
+        )
+        engines[name] = engine
+    n = engine.n_vertices
+    evs = []
+    for e in events:
+        if not (0 <= e["u"] < n and 0 <= e["v"] < n):
+            raise ProtocolError(
+                f"event vertex out of range [0, {n}): ({e['u']}, {e['v']})"
+            )
+        evs.append(
+            EdgeEvent(e["kind"], e["u"], e["v"], t=e["t"], weight=e["weight"])
+        )
+    base = engine.n_batches
+    try:
+        results = [engine.apply_batch(b) for b in group_batches(evs)]
+    except Exception as exc:
+        # Timestamp regressions etc. surface as protocol errors; the
+        # engine may have applied earlier batches — report honestly.
+        raise ProtocolError(f"ingest failed at batch {engine.n_batches - base}: {exc}") from exc
+    registry.replace(name, engine.snapshot())
+    return {
+        "graph": name,
+        "n_vertices": n,
+        "n_edges": engine.n_edges,
+        "n_batches_applied": len(results),
+        "n_batches_total": engine.n_batches,
+        "batches": [
+            {
+                "t": r.t,
+                "n_events": r.n_events,
+                "n_applied": r.n_applied,
+                "n_edges": r.n_edges,
+                "n_components": r.n_components,
+                "n_triangles": r.n_triangles,
+                "n_wedges": r.n_wedges,
+                "global_clustering": r.global_clustering,
+                "degree_topk": r.degree_topk,
+                "closeness_topk": r.closeness_topk,
+                "modularity": r.modularity,
+                "checksum": r.checksum,
+            }
+            for r in results
+        ],
+    }

@@ -43,6 +43,7 @@ __all__ = [
     "to_jsonable",
     "request_schema",
     "parse_submit",
+    "parse_ingest",
     "result_envelope",
     "error_envelope",
 ]
@@ -165,6 +166,63 @@ def parse_submit(doc: Any) -> dict:
         "deadline_s": deadline_s,
         "wait": wait,
     }
+
+
+def parse_ingest(doc: Any) -> dict:
+    """Validate an ingest document (``POST /v1/ingest``).
+
+    Shape::
+
+        {"graph": "<resident name>",
+         "events": [[t, "add"|"delete", u, v] | [t, op, u, v, w], ...],
+         "analytics": ["components", ...]}   # optional
+
+    Events must carry non-decreasing timestamps (batch boundaries are
+    timestamp changes, exactly as in ``.events`` files).
+    """
+    if not isinstance(doc, dict):
+        raise ProtocolError("request body must be a JSON object")
+    graph = doc.get("graph")
+    if not isinstance(graph, str) or not graph:
+        raise ProtocolError("ingest requires a string 'graph' name")
+    rows = doc.get("events")
+    if not isinstance(rows, list) or not rows:
+        raise ProtocolError("ingest requires a non-empty 'events' list")
+    events = []
+    for i, row in enumerate(rows):
+        if not isinstance(row, list) or len(row) not in (4, 5):
+            raise ProtocolError(
+                f"events[{i}]: expected [t, op, u, v] or [t, op, u, v, w]"
+            )
+        t, op, u, v = row[:4]
+        if not isinstance(t, int) or not isinstance(u, int) or not isinstance(v, int):
+            raise ProtocolError(f"events[{i}]: t, u, v must be integers")
+        if op not in ("add", "delete", "+", "-"):
+            raise ProtocolError(
+                f"events[{i}]: op must be 'add'/'delete' (or '+'/'-')"
+            )
+        w = row[4] if len(row) == 5 else 1.0
+        if not isinstance(w, (int, float)):
+            raise ProtocolError(f"events[{i}]: weight must be a number")
+        events.append(
+            {
+                "t": t,
+                "kind": {"+": "add", "-": "delete"}.get(op, op),
+                "u": u,
+                "v": v,
+                "weight": float(w),
+            }
+        )
+    analytics = doc.get("analytics")
+    if analytics is not None:
+        if not isinstance(analytics, list) or not all(
+            isinstance(a, str) for a in analytics
+        ):
+            raise ProtocolError("'analytics' must be a list of strings")
+    k = doc.get("k", 10)
+    if not isinstance(k, int) or k < 1:
+        raise ProtocolError("'k' must be a positive integer")
+    return {"graph": graph, "events": events, "analytics": analytics, "k": k}
 
 
 def result_envelope(result: RunResult) -> dict:

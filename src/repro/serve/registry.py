@@ -239,6 +239,25 @@ class GraphRegistry:
             if entry is not None and entry.pins > 0:
                 entry.pins -= 1
 
+    def replace(self, name: str, graph: Graph, *, source: str = "ingest") -> ResidentGraph:
+        """Atomically swap a resident graph for a new snapshot.
+
+        The ingestion path: a stream batch produces a new materialized
+        snapshot that must replace the resident graph under the same
+        name.  Pinned graphs refuse (an in-flight batch is reading the
+        old arrays); the swap happens entirely under the lock so no
+        reader ever observes the name missing.
+        """
+        with self._lock:
+            entry = self._graphs.get(name)
+            if entry is not None:
+                if entry.pins > 0:
+                    raise AdmissionDenied(
+                        f"graph {name!r} is pinned by an in-flight batch"
+                    )
+                self._evict_entry(entry)
+            return self.add(name, graph, source=source)
+
     def evict(self, name: str) -> bool:
         """Evict by name; False if absent, error if pinned."""
         with self._lock:

@@ -20,6 +20,8 @@ GET     ``/v1/stats``            coalescer + registry + pool counters
 GET     ``/v1/result/<id>``      fetch an async ticket (202 while pending)
 POST    ``/v1/load``             ``{"path": ..., "name"?, "directed"?}``
 POST    ``/v1/submit``           run a query (``"wait": false`` -> ticket)
+POST    ``/v1/ingest``           apply streamed edge events to a resident
+                                 graph (incremental analytics per batch)
 POST    ``/v1/evict``            ``{"name": ...}``
 ======  =======================  ==========================================
 
@@ -171,6 +173,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._load(doc)
             elif self.path == "/v1/submit":
                 self._submit(doc)
+            elif self.path == "/v1/ingest":
+                self._ingest(doc)
             elif self.path == "/v1/evict":
                 name = doc.get("name")
                 if not isinstance(name, str):
@@ -194,6 +198,24 @@ class _Handler(BaseHTTPRequestHandler):
             directed=bool(doc.get("directed", False)),
         )
         self._send(200, entry.describe())
+
+    def _ingest(self, doc: dict) -> None:
+        from repro.serve.ingest import ingest_events
+
+        req = protocol.parse_ingest(doc)
+        # One batch-application at a time: the engines dict and the
+        # registry swap form one logical transaction per graph.
+        with self.app.ingest_lock:
+            summary = ingest_events(
+                self.app.registry,
+                self.app.engines,
+                req["graph"],
+                req["events"],
+                ctx=self.app.ctx,
+                analytics=req["analytics"],
+                k=req["k"],
+            )
+        self._send(200, summary)
 
     def _submit(self, doc: dict) -> None:
         req = protocol.parse_submit(doc)
@@ -257,6 +279,10 @@ class ReproServer:
         )
         self._tickets: "OrderedDict[str, Future]" = OrderedDict()
         self._tickets_lock = threading.Lock()
+        # Streaming ingestion state: per-resident-graph engines, one
+        # ingest transaction at a time (POST /v1/ingest).
+        self.engines: dict = {}
+        self.ingest_lock = threading.Lock()
         self._ticket_seq = 0
         self.httpd = ThreadingHTTPServer(
             (config.host, config.port), _Handler

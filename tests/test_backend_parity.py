@@ -41,6 +41,7 @@ SPEC: dict[str, tuple[tuple, dict]] = {
     "edge_betweenness": ((), {}),
     "girvan_newman": ((), {"patience": 5}),
     "kruskal_msf": ((), {}),
+    "local_resweep": ((), {"touched": [0, 33]}),
     "minimum_spanning_forest": ((), {}),
     "msbfs": (([0, 5, 33],), {}),
     "multilevel_bisection": ((), {"seed": 0}),
@@ -56,6 +57,12 @@ SPEC: dict[str, tuple[tuple, dict]] = {
     "spectral_kway": ((4,), {"seed": 0}),
     "spectral_modularity": ((), {"seed": 0}),
     "st_connectivity": ((0, 33), {}),
+    # "community" is included so modularity is a float (projectable);
+    # per-batch checksums make cross-backend drift loud.
+    "stream_replay": ((), {
+        "policy": "bfs", "batch_size": 8, "k": 5,
+        "analytics": ["components", "stats", "degree", "community"],
+    }),
 }
 
 
@@ -83,11 +90,14 @@ def _project(value) -> dict[str, np.ndarray]:
         return {f"item{i}": x for i, x in enumerate(value)}
     out: dict[str, np.ndarray] = {}
     for attr in ("distances", "parents", "labels", "edge_component",
-                 "articulation_mask", "bridge_mask", "vertex", "edge"):
+                 "articulation_mask", "bridge_mask", "vertex", "edge",
+                 "batch_checksums", "community_labels"):
         if hasattr(value, attr):
             out[attr] = np.asarray(getattr(value, attr))
     for attr in ("modularity", "n_levels", "n_components", "estimate",
-                 "n_samples", "n_sources", "stopped_early"):
+                 "n_samples", "n_sources", "stopped_early",
+                 "n_batches", "n_triangles", "n_wedges",
+                 "global_clustering"):
         if hasattr(value, attr):
             out[attr] = np.asarray([float(getattr(value, attr))])
     assert out, f"no projection rule for payload type {type(value).__name__}"

@@ -514,3 +514,91 @@ class TestChaosFullMatrix:
         )
         assert report.ok, report.summary()
         assert report.faults_injected >= 1
+
+
+# ---------------------------------------------------------------------------
+# Streaming ingestion under chaos
+# ---------------------------------------------------------------------------
+class TestStreamChaos:
+    """A stream survives worker death mid-batch, bit for bit.
+
+    The engine's per-batch analytics (closeness refreshes dispatch
+    through ``ctx.map``/``map_batches``) run under a chaos-armed
+    context that kills a worker during a batch; the fault-tolerant
+    runtime must recover so every per-batch checksum — and the final
+    label/score arrays — equal the fault-free run exactly.
+    """
+
+    def _batches(self):
+        from repro.datasets import karate_club
+        from repro.dynamic import crawl_events, group_batches
+
+        g = karate_club()
+        events = crawl_events(
+            g, policy="bfs", batch_size=8,
+            rng=np.random.default_rng(5),
+        )
+        return g.n_vertices, list(group_batches(events))
+
+    def _run(self, n, batches, ctx=None):
+        from repro.dynamic import StreamEngine
+
+        eng = StreamEngine(
+            n, analytics=("components", "stats", "degree", "closeness"),
+            k=5, ctx=ctx,
+        )
+        for b in batches:
+            eng.apply_batch(b)
+        return eng
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_worker_death_mid_batch_bit_identical(self, backend):
+        n, batches = self._batches()
+        clean = self._run(n, batches)
+        plan = ChaosPlan([Fault("exit", task_index=0, call_index=1)])
+        with ParallelContext(
+            2, backend=backend,
+            fault_policy=FaultPolicy(),
+            chaos=plan,
+        ) as ctx:
+            chaotic = self._run(n, batches, ctx=ctx)
+            assert plan.n_fired >= 1
+            assert ctx.pool.faults_injected >= 1
+        assert (
+            [r.checksum for r in chaotic.results]
+            == [r.checksum for r in clean.results]
+        )
+        assert np.array_equal(
+            chaotic.results[-1].labels, clean.results[-1].labels
+        )
+        assert np.array_equal(chaotic._clo, clean._clo)
+        assert live_segment_names() == ()
+
+    def test_resume_from_last_applied_batch(self):
+        # Crash-and-restart shape: the engine dies after batch j-1, a
+        # replacement restores from its checkpoint and replays the
+        # remaining batches; the stitched run is bit-identical to an
+        # uninterrupted one, including under chaos on the replay side.
+        from repro.dynamic import StreamEngine
+
+        n, batches = self._batches()
+        clean = self._run(n, batches)
+        j = len(batches) // 2
+        first = self._run(n, batches[:j])
+        state = first.checkpoint()
+        del first  # the "dead" process
+
+        plan = ChaosPlan([Fault("raise", task_index=0)])
+        with ParallelContext(
+            2, backend="thread",
+            fault_policy=FaultPolicy(),
+            chaos=plan,
+        ) as ctx:
+            resumed = StreamEngine.restore(state, ctx=ctx)
+            for b in batches[j:]:
+                resumed.apply_batch(b)
+        assert (
+            [r.checksum for r in resumed.results]
+            == [r.checksum for r in clean.results]
+        )
+        assert np.array_equal(resumed._clo, clean._clo)

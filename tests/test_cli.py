@@ -186,3 +186,46 @@ class TestGenerateConvert:
         assert main(["convert", karate_file, str(npz), "--to", "npz"]) == 0
         assert main(["convert", str(npz), str(back), "--to", "edgelist"]) == 0
         assert read_edge_list(back).n_edges == 78
+
+
+class TestStream:
+    def test_crawl_and_save_events(self, karate_file, tmp_path, capsys):
+        events_path = tmp_path / "karate.events"
+        out = tmp_path / "stream.json"
+        assert main(
+            ["stream", karate_file, "--policy", "bfs", "--batch-size", "8",
+             "--save-events", str(events_path), "-o", str(out)]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "batch" in captured
+        doc = json.loads(out.read_text())
+        assert doc["n_vertices"] == 34
+        assert doc["batches"]
+        assert doc["batches"][-1]["n_edges"] == 78
+        assert all("checksum" in b for b in doc["batches"])
+        assert events_path.exists()
+
+    def test_replay_events_file(self, karate_file, tmp_path, capsys):
+        events_path = tmp_path / "karate.events"
+        assert main(
+            ["stream", karate_file, "--save-events", str(events_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stream", str(events_path)]) == 0
+        assert "78" in capsys.readouterr().out
+
+    def test_check_stream_green(self, tmp_path, capsys):
+        assert main(
+            ["check", "--stream", "--graphs", "8",
+             "--artifacts", str(tmp_path)]
+        ) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_stream_planted_fault_caught(self, tmp_path, capsys):
+        assert main(
+            ["check", "--stream", "--graphs", "6", "--fault",
+             "cc_skip_union", "--artifacts", str(tmp_path)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "cc_skip_union" in out or "components" in out
+        assert list(tmp_path.glob("*.events"))

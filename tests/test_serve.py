@@ -388,3 +388,68 @@ class TestSpecs:
         with pytest.raises(TypeError, match="accepted"):
             validate_params("closeness", {"nope": 1})
         validate_params("closeness", {"sources": [1], "wf_improved": False})
+
+
+# ----------------------------------------------------------------------
+# Streaming ingestion (/v1/ingest + Session.ingest)
+# ----------------------------------------------------------------------
+class TestIngest:
+    def test_http_ingest_updates_resident_graph(self, server):
+        srv, client, g = server
+        before = client.submit("g", "connected_components")["value"]
+        doc = client.ingest(
+            "g",
+            [[1, "add", 0, g.n_vertices - 1], [1, "+", 1, g.n_vertices - 2]],
+            analytics=["components", "stats", "degree"],
+        )
+        assert doc["graph"] == "g"
+        assert doc["n_batches_applied"] == 1
+        batch = doc["batches"][0]
+        assert batch["n_applied"] >= 1
+        assert isinstance(batch["checksum"], int)
+        # subsequent queries run on the swapped-in snapshot
+        after = client.submit("g", "connected_components")["value"]
+        assert len(after) == len(before)
+        resident = client.graphs()["resident"][0]
+        assert resident["source"] == "ingest"
+        assert resident["n_edges"] == batch["n_edges"]
+
+    def test_http_ingest_is_incremental_across_calls(self, server):
+        _, client, g = server
+        a = client.ingest("g", [[1, "add", 0, 2]])
+        b = client.ingest("g", [[2, "delete", 0, 2]])
+        assert b["n_batches_total"] == a["n_batches_total"] + 1
+
+    def test_http_ingest_structured_errors(self, server):
+        _, client, g = server
+        with pytest.raises(GraphNotResident):
+            client.ingest("missing", [[1, "add", 0, 1]])
+        with pytest.raises(ProtocolError):
+            client.ingest("g", [[1, "add", 0, g.n_vertices]])  # out of range
+        with pytest.raises(ProtocolError):
+            client.ingest("g", [[1, "toggle", 0, 1]])
+        with pytest.raises(ProtocolError):
+            client.ingest("g", [])
+
+    def test_session_ingest_matches_engine(self, rmat):
+        from repro.dynamic import EdgeEvent, StreamEngine, group_batches
+
+        events = [
+            EdgeEvent("add", 0, 9, t=1),
+            EdgeEvent("add", 3, 7, t=1),
+            EdgeEvent("delete", 0, 9, t=2),
+        ]
+        ref = StreamEngine.from_graph(
+            rmat, analytics=("components", "stats", "degree"), k=10
+        )
+        ref_results = [
+            ref.apply_batch(b) for b in group_batches(events)
+        ]
+        with api.Session() as s:
+            s.add("g", rmat)
+            doc = s.ingest("g", events)
+            got = s.registry.get("g").graph
+        assert [b["checksum"] for b in doc["batches"]] == [
+            r.checksum for r in ref_results
+        ]
+        assert got.n_edges == ref.n_edges

@@ -1,0 +1,347 @@
+"""Streaming ingestion: dynamic structures, events, crawlers, engine.
+
+Property tests (hypothesis) pin the two incremental structures against
+from-scratch recomputation on arbitrary churn sequences:
+
+* :class:`IncrementalComponents` — labels after any add/delete/re-insert
+  sequence equal a scratch union-find over the surviving edge set, and
+  ``labels()`` is the canonical min-vertex-id form the batch
+  ``connected_components`` kernel produces.
+* :class:`StreamingStats` — triangle/wedge counters equal a full recount
+  of the materialized snapshot after every operation sequence
+  (``check()`` is the recount; ``burst_score`` stays in [0, 1]).
+
+The engine tests cover the per-batch replay surface: crawl determinism
+and coverage per policy, ``.events`` IO round-trips, prefix correctness,
+and checkpoint/restore bit-identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import karate_club
+from repro.dynamic import (
+    CRAWL_POLICIES,
+    EdgeEvent,
+    IncrementalComponents,
+    StreamEngine,
+    StreamingStats,
+    canonical_final_edges,
+    crawl_events,
+    group_batches,
+    read_events,
+    stream_replay,
+    write_events,
+)
+from repro.errors import GraphStructureError
+from repro.kernels.connected import connected_components
+
+
+# ---------------------------------------------------------------------------
+# Strategies: operation sequences over a small fixed vertex universe
+# ---------------------------------------------------------------------------
+N = 12
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "delete"]),
+        st.integers(0, N - 1),
+        st.integers(0, N - 1),
+    ),
+    min_size=0,
+    max_size=80,
+)
+
+
+def _scratch_components(n, live_edges):
+    """Reference: union-find from scratch over the surviving edge set."""
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in live_edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[max(ru, rv)] = min(ru, rv)
+    roots = [find(v) for v in range(n)]
+    # canonical: min vertex id per component — roots are already minimal
+    # under the min-root union above.
+    return np.asarray(roots, dtype=np.int64)
+
+
+def _apply_ops(n, sequence):
+    """Run one op sequence through IncrementalComponents + a live-set."""
+    cc = IncrementalComponents(n)
+    live = set()
+    for kind, u, v in sequence:
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if kind == "add":
+            changed = cc.add_edge(u, v)
+            assert changed == (key not in live)
+            live.add(key)
+        else:
+            changed = cc.delete_edge(u, v)
+            assert changed == (key in live)
+            live.discard(key)
+    return cc, live
+
+
+class TestIncrementalComponentsProperties:
+    @given(ops)
+    @settings(max_examples=120, deadline=None)
+    def test_churn_equals_scratch_union_find(self, sequence):
+        cc, live = _apply_ops(N, sequence)
+        ref = _scratch_components(N, sorted(live))
+        got = cc.labels()
+        assert np.array_equal(got, ref)
+        assert cc.n_components == len(np.unique(ref))
+        assert cc.n_edges == len(live)
+
+    @given(ops)
+    @settings(max_examples=60, deadline=None)
+    def test_labels_canonical_and_stable(self, sequence):
+        # labels() is min-vertex-id per component, so two calls with no
+        # mutation in between are bit-identical, and each label is the
+        # smallest member of its component.
+        cc, _ = _apply_ops(N, sequence)
+        a = cc.labels()
+        b = cc.labels()
+        assert np.array_equal(a, b)
+        for lbl in np.unique(a):
+            members = np.nonzero(a == lbl)[0]
+            assert lbl == members.min()
+
+    @given(ops)
+    @settings(max_examples=60, deadline=None)
+    def test_connectivity_queries_match_labels(self, sequence):
+        cc, _ = _apply_ops(N, sequence)
+        lab = cc.labels()
+        for u, v in [(0, 1), (2, 9), (N - 1, N - 2)]:
+            assert cc.connected(u, v) == (lab[u] == lab[v])
+        for v in (0, N // 2):
+            assert cc.component_size(v) == int((lab == lab[v]).sum())
+
+
+def _scratch_stats(n, live_edges):
+    """Reference triangle/wedge counts over the surviving edge set."""
+    adj = [set() for _ in range(n)]
+    for u, v in live_edges:
+        adj[u].add(v)
+        adj[v].add(u)
+    tri = sum(
+        len(adj[u] & adj[v]) for u, v in live_edges
+    ) // 3 if live_edges else 0
+    deg = [len(a) for a in adj]
+    wedges = sum(d * (d - 1) // 2 for d in deg)
+    return tri, wedges, deg
+
+
+class TestStreamingStatsProperties:
+    @given(ops)
+    @settings(max_examples=100, deadline=None)
+    def test_counters_equal_recount(self, sequence):
+        stats = StreamingStats(N, window=16)
+        live = set()
+        for kind, u, v in sequence:
+            if u == v:
+                continue
+            key = (u, v) if u < v else (v, u)
+            if kind == "add":
+                stats.add_edge(u, v)
+                live.add(key)
+            else:
+                stats.delete_edge(u, v)
+                live.discard(key)
+        tri, wedges, deg = _scratch_stats(N, sorted(live))
+        assert stats.n_edges == len(live)
+        assert stats.n_wedges == wedges
+        for v in range(N):
+            assert stats.degree(v) == deg[v]
+        stats.check()  # internal recount assertion
+        if wedges:
+            assert stats.global_clustering == pytest.approx(
+                3.0 * tri / wedges
+            )
+        else:
+            assert stats.global_clustering == 0.0
+
+    @given(ops)
+    @settings(max_examples=60, deadline=None)
+    def test_burst_score_bounded(self, sequence):
+        stats = StreamingStats(N, window=8)
+        for kind, u, v in sequence:
+            if u == v:
+                continue
+            (stats.add_edge if kind == "add" else stats.delete_edge)(u, v)
+        total = 0.0
+        for v in range(N):
+            s = stats.burst_score(v)
+            assert 0.0 <= s <= 1.0
+            total += s
+        if len(stats.recent_activity()) == 0:
+            assert total == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Events: grouping, canonical replay, file IO
+# ---------------------------------------------------------------------------
+class TestEvents:
+    def test_group_batches_splits_on_timestamp(self):
+        evs = [
+            EdgeEvent("add", 0, 1, t=0),
+            EdgeEvent("add", 1, 2, t=0),
+            EdgeEvent("delete", 0, 1, t=3),
+        ]
+        batches = list(group_batches(evs))
+        assert [len(b) for b in batches] == [2, 1]
+        assert batches[1][0].kind == "delete"
+
+    def test_group_batches_rejects_regression(self):
+        evs = [EdgeEvent("add", 0, 1, t=5), EdgeEvent("add", 1, 2, t=4)]
+        with pytest.raises(GraphStructureError):
+            list(group_batches(evs))
+
+    def test_canonical_final_edges_semantics(self):
+        evs = [
+            EdgeEvent("add", 1, 0, t=0, weight=2.0),
+            EdgeEvent("add", 0, 1, t=0, weight=9.0),  # dup: first weight wins
+            EdgeEvent("add", 3, 3, t=0),  # self-loop ignored
+            EdgeEvent("delete", 0, 1, t=1),
+            EdgeEvent("add", 0, 1, t=2, weight=4.0),  # re-insert, new weight
+            EdgeEvent("delete", 5, 6, t=2),  # deleting absent: no-op
+        ]
+        assert canonical_final_edges(evs) == [(0, 1, 4.0)]
+
+    def test_events_file_roundtrip(self, tmp_path):
+        evs = [
+            EdgeEvent("add", 0, 1, t=0),
+            EdgeEvent("add", 2, 3, t=0, weight=2.5),
+            EdgeEvent("delete", 0, 1, t=1),
+        ]
+        path = tmp_path / "stream.events"
+        write_events(path, evs, n_vertices=7)
+        n, back = read_events(path)
+        assert n == 7
+        assert back == evs
+
+    def test_bad_event_kind_rejected(self):
+        with pytest.raises(GraphStructureError):
+            EdgeEvent("toggle", 0, 1)
+
+
+# ---------------------------------------------------------------------------
+# Crawler sources
+# ---------------------------------------------------------------------------
+class TestCrawlers:
+    @pytest.mark.parametrize("policy", CRAWL_POLICIES)
+    def test_full_crawl_reveals_every_edge(self, policy):
+        g = karate_club()
+        evs = crawl_events(
+            g, policy=policy, batch_size=4,
+            rng=np.random.default_rng(7),
+        )
+        final = canonical_final_edges(evs)
+        src = np.repeat(np.arange(g.n_vertices), np.diff(g.offsets))
+        keep = src < g.targets
+        expect = sorted(
+            (int(a), int(b), 1.0)
+            for a, b in zip(src[keep], g.targets[keep])
+        )
+        assert final == expect
+
+    @pytest.mark.parametrize("policy", CRAWL_POLICIES)
+    def test_crawl_deterministic_under_seed(self, policy):
+        g = karate_club()
+        a = crawl_events(
+            g, policy=policy, batch_size=4,
+            rng=np.random.default_rng(3),
+        )
+        b = crawl_events(
+            g, policy=policy, batch_size=4,
+            rng=np.random.default_rng(3),
+        )
+        assert a == b
+
+    def test_max_batches_truncates(self):
+        g = karate_club()
+        evs = crawl_events(
+            g, policy="bfs", batch_size=2, max_batches=3,
+            rng=np.random.default_rng(0),
+        )
+        assert evs
+        assert max(e.t for e in evs) <= 2
+        assert len(canonical_final_edges(evs)) < g.n_edges
+
+
+# ---------------------------------------------------------------------------
+# StreamEngine
+# ---------------------------------------------------------------------------
+class TestStreamEngine:
+    def test_prefix_correctness_smoke(self):
+        g = karate_club()
+        evs = crawl_events(
+            g, policy="bfs", batch_size=8, rng=np.random.default_rng(0)
+        )
+        eng = StreamEngine(
+            g.n_vertices, analytics=("components", "stats", "degree")
+        )
+        for batch in group_batches(evs):
+            res = eng.apply_batch(batch)
+            snap = eng.snapshot()
+            ref = connected_components(snap)
+            assert np.array_equal(res.labels, ref)
+            assert res.n_components == len(np.unique(ref))
+        # after the full crawl the engine holds the hidden graph
+        assert eng.n_edges == g.n_edges
+
+    def test_empty_batch_rejected(self):
+        eng = StreamEngine(4)
+        with pytest.raises(GraphStructureError):
+            eng.apply_batch([])
+
+    def test_checkpoint_restore_bit_identical(self):
+        g = karate_club()
+        evs = crawl_events(
+            g, policy="mod", batch_size=6, rng=np.random.default_rng(1)
+        )
+        batches = list(group_batches(evs))
+        cut = len(batches) // 2
+
+        full = StreamEngine(
+            g.n_vertices, analytics=("components", "stats", "degree"), k=5
+        )
+        for b in batches:
+            full.apply_batch(b)
+
+        part = StreamEngine(
+            g.n_vertices, analytics=("components", "stats", "degree"), k=5
+        )
+        for b in batches[:cut]:
+            part.apply_batch(b)
+        resumed = StreamEngine.restore(part.checkpoint())
+        for b in batches[cut:]:
+            resumed.apply_batch(b)
+
+        a = [r.checksum for r in full.results]
+        b = [r.checksum for r in resumed.results]
+        assert a == b
+        assert np.array_equal(
+            full.results[-1].labels, resumed.results[-1].labels
+        )
+
+    def test_stream_replay_registered_algorithm(self):
+        g = karate_club()
+        res = stream_replay(g, policy="bfs", batch_size=8)
+        assert res.n_edges == g.n_edges
+        ref = connected_components(g)
+        assert np.array_equal(res.labels, ref)
+        assert res.batch_checksums.shape[0] == res.n_batches

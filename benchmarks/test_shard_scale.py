@@ -1,0 +1,176 @@
+"""Out-of-core shard gate (``-m shard_full``).
+
+Two legs, one claim: the sharded BSP path does what the in-core CSR
+path cannot — run big graphs under a hard memory cap — without giving
+up either bit-identity or more than ~2.5x of wall-time where both
+paths can run.
+
+* **Scale 18** (in-process): msbfs / connected-components / pLA run
+  both ways; results must be bit-identical and the sharded wall-time
+  within ``RATIO_CAP`` of in-core.
+* **Scale 22** (subprocess): the in-core CSR (~1.0 GB before any
+  working set) is refused up front by a 768 MB :class:`MemoryBudget`;
+  the sharded run executes end-to-end inside that cap in a fresh
+  ``repro shard run`` subprocess (clean peak-RSS accounting,
+  ``--enforce-rss`` makes a budget break a hard failure, not a
+  report).  pLA is gated at scale 18 only — its sweep/guard loop is
+  minutes of wall-time at scale 22 on one core and adds no new memory
+  behaviour beyond the msbfs/components supersteps.
+
+Per-superstep metrics from both legs land in
+``benchmarks/results/shard_scale.json``.  The tier-1 smoke variant
+(scale 10) lives in ``tests/test_sharded.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from _common import write_result_json
+from repro.community.pla import pla
+from repro.errors import MemoryBudgetExceeded
+from repro.generators.rmat import rmat
+from repro.kernels.bfs import msbfs
+from repro.kernels.connected import connected_components
+from repro.sharded import (
+    BSPDriver,
+    MemoryBudget,
+    build_shard_set,
+    in_core_nbytes,
+    sharded_connected_components,
+    sharded_msbfs,
+    sharded_pla,
+)
+
+#: Sharded wall-time may cost at most this much over in-core at scale 18.
+RATIO_CAP = 2.5
+
+#: The scale-22 cap: far below the ~1.0 GB in-core CSR, comfortably
+#: above one shard + coordinator state (measured peak ≈ 620 MB).
+CAP_BYTES = 768 << 20
+
+SOURCES_18 = [0, 1_000, 200_000, 262_000]
+SOURCES_22 = [0, 2_000_000]
+
+
+def _repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.shard_full
+def test_shard_scale_gate(tmp_path):
+    results: dict = {"cap_bytes": CAP_BYTES, "ratio_cap": RATIO_CAP}
+
+    # ---- leg 1: scale 18, bit-identity and wall-time ratio -----------
+    g18 = rmat(18, 8.0, rng=np.random.default_rng(22))
+    ss18 = build_shard_set(g18, tmp_path / "s18", k=8, method="block")
+    drv = BSPDriver(ss18, mem_budget=MemoryBudget(CAP_BYTES))
+
+    leg18: dict = {
+        "scale": 18,
+        "n_vertices": g18.n_vertices,
+        "n_edges": g18.n_edges,
+        "in_core_bytes": in_core_nbytes(g18),
+        "k_shards": ss18.k,
+        "edge_cut": ss18.edge_cut,
+        "algos": {},
+    }
+
+    t0 = time.perf_counter()
+    ref_bfs = msbfs(g18, SOURCES_18)
+    t_in = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    got_bfs = sharded_msbfs(ss18, SOURCES_18, driver=drv)
+    t_sh = time.perf_counter() - t0
+    assert np.array_equal(got_bfs.distances, ref_bfs.distances)
+    assert t_sh <= RATIO_CAP * t_in, f"msbfs ratio {t_sh / t_in:.2f}"
+    leg18["algos"]["msbfs"] = {
+        "in_core_s": t_in, "sharded_s": t_sh, "ratio": t_sh / t_in,
+        "bit_identical": True,
+    }
+
+    t0 = time.perf_counter()
+    ref_cc = connected_components(g18)
+    t_in = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    got_cc = sharded_connected_components(ss18, driver=drv)
+    t_sh = time.perf_counter() - t0
+    assert np.array_equal(got_cc, ref_cc)
+    assert t_sh <= RATIO_CAP * t_in, f"components ratio {t_sh / t_in:.2f}"
+    leg18["algos"]["components"] = {
+        "in_core_s": t_in, "sharded_s": t_sh, "ratio": t_sh / t_in,
+        "bit_identical": True,
+    }
+
+    t0 = time.perf_counter()
+    ref_pla = pla(g18, multilevel=True)
+    t_in = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    got_pla = sharded_pla(ss18, driver=drv)
+    t_sh = time.perf_counter() - t0
+    assert got_pla.modularity == ref_pla.modularity
+    assert np.array_equal(got_pla.labels, ref_pla.labels)
+    assert got_pla.extras == ref_pla.extras
+    assert t_sh <= RATIO_CAP * t_in, f"pla ratio {t_sh / t_in:.2f}"
+    leg18["algos"]["pla"] = {
+        "in_core_s": t_in, "sharded_s": t_sh, "ratio": t_sh / t_in,
+        "bit_identical": True,
+        "modularity": got_pla.modularity,
+    }
+    leg18["metrics"] = drv.metrics()
+    results["scale18"] = leg18
+    del g18, ss18, drv, ref_bfs, got_bfs, ref_cc, got_cc
+
+    # ---- leg 2: scale 22 under a cap the in-core path cannot meet ----
+    g22 = rmat(22, 8.0, rng=np.random.default_rng(22))
+    in_core_22 = in_core_nbytes(g22)
+    budget = MemoryBudget(CAP_BYTES)
+    with pytest.raises(MemoryBudgetExceeded):
+        budget.admit(in_core_22, "in-core CSR at scale 22")
+
+    ss22 = build_shard_set(g22, tmp_path / "s22", k=8, method="block")
+    assert budget.admit(ss22.largest_shard_bytes, "largest shard") > 0
+    del g22  # the subprocess must stand alone under the cap
+
+    metrics_path = tmp_path / "scale22.json"
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "shard", "run",
+            str(ss22.root),
+            "--algo", "msbfs,components",
+            "--sources", ",".join(str(s) for s in SOURCES_22),
+            "--mem-budget", str(CAP_BYTES),
+            "--enforce-rss",
+            "--metrics", str(metrics_path),
+        ],
+        cwd=_repo_root(),
+        env={**os.environ,
+             "PYTHONPATH": str(_repo_root() / "src")},
+        capture_output=True,
+        text=True,
+        timeout=1800,
+    )
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads(metrics_path.read_text())
+    peak = doc["metrics"]["peak_rss_bytes"]
+    assert peak <= CAP_BYTES, f"subprocess peak RSS {peak} broke the cap"
+    results["scale22"] = {
+        "scale": 22,
+        "in_core_bytes": in_core_22,
+        "in_core_refused": True,
+        "k_shards": ss22.k,
+        "edge_cut": ss22.edge_cut,
+        "largest_shard_bytes": ss22.largest_shard_bytes,
+        "peak_rss_bytes": peak,
+        "run": doc,
+    }
+
+    write_result_json("shard_scale", results)

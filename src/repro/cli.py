@@ -554,6 +554,137 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_size(text: str) -> int:
+    """Parse a byte size like ``512M``, ``2G``, ``800K`` or a plain int."""
+    s = text.strip().upper()
+    mult = 1
+    for suffix, m in (("K", 1 << 10), ("M", 1 << 20), ("G", 1 << 30)):
+        if s.endswith(suffix + "B"):
+            s, mult = s[:-2], m
+            break
+        if s.endswith(suffix):
+            s, mult = s[:-1], m
+            break
+    try:
+        return int(float(s) * mult)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid size {text!r}") from None
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    """Build / inspect / verify / run a sharded graph set (DESIGN §12)."""
+    from repro.sharded import (
+        BSPDriver,
+        MemoryBudget,
+        build_shard_set,
+        open_shard_set,
+        sharded_closeness,
+        sharded_connected_components,
+        sharded_msbfs,
+        sharded_pla,
+    )
+
+    if args.action == "build":
+        g = _load(args.graph, directed=False)
+        if args.k is None and args.mem_budget is None:
+            print("error: pass -k or --mem-budget to size the shard set",
+                  file=sys.stderr)
+            return 1
+        ss = build_shard_set(
+            g, args.out, k=args.k, mem_budget=args.mem_budget,
+            method=args.method, seed=args.seed,
+        )
+        d = ss.describe()
+        print(f"shard set written to {ss.root}")
+        print(f"  k={d['k']}  partitioner={d['partitioner']}  "
+              f"edge_cut={d['edge_cut']:,d}  halo={d['total_halo']:,d}")
+        print(f"  bytes on disk {d['total_bytes']:,d} "
+              f"(in-core CSR {d['in_core_bytes']:,d}, largest shard "
+              f"{d['largest_shard_bytes']:,d})")
+        return 0
+
+    ss = open_shard_set(args.path)
+    if args.action == "info":
+        d = ss.describe()
+        if args.json:
+            print(json.dumps(d, indent=2, sort_keys=True))
+            return 0
+        print(f"{d['path']}: n={d['n_vertices']:,d} m={d['n_edges']:,d} "
+              f"k={d['k']} weighted={d['weighted']} "
+              f"partitioner={d['partitioner']}")
+        print(f"  edge_cut={d['edge_cut']:,d}  total_halo={d['total_halo']:,d}  "
+              f"bytes={d['total_bytes']:,d}  "
+              f"in_core={d['in_core_bytes']:,d}")
+        for s in d["shards"]:
+            print(f"  shard {s['index']:4d}: owned={s['n_owned']:,d} "
+                  f"halo={s['n_halo']:,d} arcs={s['n_arcs']:,d} "
+                  f"boundary={s['n_boundary_arcs']:,d} "
+                  f"max_deg={s['degree_max']:,d} bytes={s['bytes']:,d}")
+        return 0
+
+    if args.action == "verify":
+        problems = ss.verify(deep=args.deep)
+        if problems:
+            for p in problems:
+                print(f"FAIL {p}")
+            return 1
+        n_files = ss.k + 1
+        print(f"ok: {n_files} payload files verified"
+              + (", stitch round-trip ok" if args.deep else ""))
+        return 0
+
+    # action == "run"
+    budget = None
+    if args.mem_budget is not None:
+        budget = MemoryBudget(args.mem_budget, enforce_rss=args.enforce_rss)
+    ctx = _make_ctx(args)
+    driver = BSPDriver(ss, ctx=ctx, mem_budget=budget)
+    out: dict = {"path": str(ss.root), "algos": {}}
+    rng = np.random.default_rng(args.seed)
+    t_all = time.perf_counter()
+    for algo in args.algo.split(","):
+        algo = algo.strip()
+        t0 = time.perf_counter()
+        if algo == "msbfs":
+            if args.sources:
+                srcs = [int(x) for x in args.sources.split(",")]
+            else:
+                srcs = sorted(
+                    int(x) for x in
+                    rng.choice(ss.n_vertices, size=min(args.n_sources,
+                               ss.n_vertices), replace=False)
+                )
+            res = sharded_msbfs(ss, srcs, driver=driver)
+            info = {"sources": srcs, "n_levels": res.n_levels,
+                    "reached": int((res.distances >= 0).sum()),
+                    "checksum": int(res.distances.astype(np.int64).sum())}
+        elif algo == "closeness":
+            srcs = ([int(x) for x in args.sources.split(",")]
+                    if args.sources else None)
+            cc = sharded_closeness(ss, sources=srcs, driver=driver)
+            info = {"sum": float(cc.sum()), "max": float(cc.max())}
+        elif algo == "components":
+            labels = sharded_connected_components(ss, driver=driver)
+            info = {"n_components": int(np.unique(labels).shape[0])}
+        elif algo == "pla":
+            res = sharded_pla(ss, driver=driver)
+            info = {"modularity": res.modularity,
+                    "n_clusters": res.n_clusters, **res.extras}
+        else:
+            print(f"error: unknown algo {algo!r}", file=sys.stderr)
+            return 1
+        info["seconds"] = time.perf_counter() - t0
+        out["algos"][algo] = info
+    out["seconds_total"] = time.perf_counter() - t_all
+    out["metrics"] = driver.metrics()
+    if args.metrics:
+        Path(args.metrics).write_text(json.dumps(out, indent=2) + "\n")
+        print(f"metrics written to {args.metrics}")
+    else:
+        print(json.dumps(out, indent=2))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Start the graph-service daemon (DESIGN.md §10)."""
     from repro.serve.server import ReproServer, ServeConfig
@@ -790,6 +921,56 @@ def build_parser() -> argparse.ArgumentParser:
                    help="log one line per HTTP request")
     add_execution_flags(p)
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "shard",
+        help="out-of-core shard sets: partition a graph into "
+             "memory-mapped shards and run kernels shard-at-a-time",
+    )
+    shard_sub = p.add_subparsers(dest="action", required=True)
+
+    sp = shard_sub.add_parser("build", help="partition a graph into shards")
+    sp.add_argument("graph", help="input graph file")
+    sp.add_argument("-o", "--out", required=True, help="output directory")
+    sp.add_argument("-k", type=int, default=None, help="shard count")
+    sp.add_argument("--mem-budget", type=_parse_size, default=None,
+                    metavar="BYTES",
+                    help="per-worker memory budget (e.g. 512M, 2G); "
+                         "sizes k via the cost model when -k is omitted")
+    sp.add_argument("--method", choices=["multilevel", "block"],
+                    default="multilevel")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(fn=_cmd_shard)
+
+    sp = shard_sub.add_parser("info", help="dump manifest / shard stats")
+    sp.add_argument("path", help="shard-set directory or manifest.json")
+    sp.add_argument("--json", action="store_true")
+    sp.set_defaults(fn=_cmd_shard)
+
+    sp = shard_sub.add_parser("verify", help="checksum-verify a shard set")
+    sp.add_argument("path")
+    sp.add_argument("--deep", action="store_true",
+                    help="also stitch and cross-check vertex/edge counts")
+    sp.set_defaults(fn=_cmd_shard)
+
+    sp = shard_sub.add_parser(
+        "run", help="run kernels over a shard set under the BSP driver")
+    sp.add_argument("path")
+    sp.add_argument("--algo", default="msbfs",
+                    help="comma list of msbfs,closeness,components,pla")
+    sp.add_argument("--sources", default=None,
+                    help="comma list of source vertices (msbfs/closeness)")
+    sp.add_argument("--n-sources", type=int, default=8,
+                    help="random sources when --sources is omitted")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--mem-budget", type=_parse_size, default=None,
+                    metavar="BYTES", help="working-memory cap (e.g. 512M)")
+    sp.add_argument("--enforce-rss", action="store_true",
+                    help="fail if measured peak RSS breaks the budget")
+    sp.add_argument("--metrics", default=None, metavar="OUT.json",
+                    help="write per-superstep metrics JSON here")
+    add_execution_flags(sp)
+    sp.set_defaults(fn=_cmd_shard)
     return parser
 
 

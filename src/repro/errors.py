@@ -110,6 +110,16 @@ class BackendUnavailable(ExecutionError):
     """
 
 
+class MemoryBudgetExceeded(SnapError):
+    """An out-of-core run's peak-RSS (or admission estimate) broke its cap.
+
+    Raised by :class:`repro.sharded.bsp.MemoryBudget` either up front —
+    when the planned working set (largest shard + halos + coordinator
+    state) provably cannot fit — or after a superstep whose measured
+    peak RSS exceeded the cap.
+    """
+
+
 class ServeError(SnapError):
     """Base class for graph-service (``repro serve``) failures.
 

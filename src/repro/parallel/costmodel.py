@@ -67,11 +67,23 @@ class MachineModel:
     t_cas: float = 2.0
     cas_contention: float = 0.5
     t_spawn: float = 300.0
+    #: Cost of faulting one page of a memory-mapped shard into a worker
+    #: (in ``t_op`` units ≈ memory ops: a 4 KiB major fault costs far
+    #: more than the 512 words it delivers).
+    t_page_in: float = 2000.0
+    page_size: int = 4096
 
     def barrier_cost(self, p: int) -> float:
         if p <= 1:
             return 0.0
         return self.t_barrier_base + self.t_barrier_log * math.log2(p)
+
+    def page_in_cost(self, n_bytes: int) -> float:
+        """Modeled cost of paging ``n_bytes`` of a cold mmap'd shard in."""
+        if n_bytes <= 0:
+            return 0.0
+        pages = -(-int(n_bytes) // self.page_size)
+        return pages * self.t_page_in
 
     def lock_cost(self, p: int) -> float:
         if p <= 1:
@@ -156,6 +168,18 @@ class CostModel:
         """Record entry into a parallel region (worker wake-up cost)."""
         self.regions += count
 
+    def page_in(self, n_bytes: int) -> None:
+        """Record paging ``n_bytes`` of a cold memory-mapped shard in.
+
+        Charged as one maximally-granular phase: a shard's page-in is
+        one worker's sequential fault stream, so it contributes its full
+        cost to the span (other workers fault their own shards
+        concurrently, which *is* the phase-parallelism).
+        """
+        cost = self.machine.page_in_cost(n_bytes)
+        if cost:
+            self.phase(cost, cost)
+
     def merge(self, other: "CostModel") -> None:
         """Fold another profile into this one (phases concatenate)."""
         self._phases.extend(replace_list(other._phases))
@@ -237,3 +261,46 @@ class CostModel:
 def replace_list(phases: list[_Phase]) -> list[_Phase]:
     """Deep-copy a phase list (phases are mutable run-length cells)."""
     return [replace(ph) for ph in phases]
+
+
+#: Halo fraction assumed when sizing shards before a partition exists:
+#: multilevel partitions of small-world graphs typically replicate
+#: 5–25% of a shard's vertices as ghosts; 0.15 is the middle of that
+#: band and errs toward more shards (safer under a hard budget).
+DEFAULT_HALO_FRACTION = 0.15
+
+#: Per-worker overhead besides the mapped shard: superstep payloads,
+#: result buffers and interpreter slack, as a fraction of shard bytes.
+WORKING_SET_FACTOR = 1.5
+
+
+def recommend_shards(
+    graph_bytes: int,
+    mem_budget: int,
+    *,
+    halo_fraction: float = DEFAULT_HALO_FRACTION,
+    max_shards: int = 4096,
+) -> int:
+    """Smallest shard count whose per-shard working set fits the budget.
+
+    ``graph_bytes`` is the in-core CSR size (see
+    :func:`repro.sharded.shards.in_core_nbytes`); ``mem_budget`` the
+    bytes one worker may keep resident.  A ``k``-way split leaves
+    roughly ``graph_bytes / k`` owned payload per shard, inflated by the
+    halo layer (``k > 1`` only) and the superstep working set; we pick
+    the smallest ``k`` that fits so shards stay as coarse — and page-in
+    as sequential — as possible.
+    """
+    if graph_bytes < 0:
+        raise ValueError("graph_bytes must be non-negative")
+    if mem_budget <= 0:
+        raise ValueError("mem_budget must be positive")
+    if graph_bytes == 0:
+        return 1
+    for k in range(1, max_shards + 1):
+        per_shard = graph_bytes / k
+        if k > 1:
+            per_shard *= 1.0 + halo_fraction
+        if per_shard * WORKING_SET_FACTOR <= mem_budget:
+            return k
+    return max_shards

@@ -529,6 +529,60 @@ def _run_pla_multilevel(graph: Graph, ctx):
     return float(result.modularity), result.labels
 
 
+def _run_sharded(kind: str):
+    """Sharded (out-of-core) twin of an in-core check: build a temp
+    shard set, run the shard-at-a-time kernel, assert bit-identity
+    against the in-core path, then answer to the same oracle."""
+
+    def run(graph: Graph, ctx):
+        import tempfile
+
+        from repro.sharded import (
+            build_shard_set,
+            sharded_connected_components,
+            sharded_msbfs,
+            sharded_pla,
+        )
+
+        with tempfile.TemporaryDirectory(prefix="qa-shard-") as tmp:
+            ss = build_shard_set(
+                graph, tmp, k=min(3, max(1, graph.n_vertices)), ctx=ctx
+            )
+            if kind == "msbfs":
+                from repro.kernels.bfs import msbfs
+
+                res = sharded_msbfs(ss, [0], ctx=ctx)
+                ref = msbfs(graph, [0], ctx=ctx)
+                if not np.array_equal(res.distances, ref.distances):
+                    raise invariants.InvariantViolation(
+                        "sharded msbfs differs from in-core msbfs"
+                    )
+                return res.distances[0]
+            if kind == "components":
+                from repro.kernels.connected import connected_components
+
+                labels = sharded_connected_components(ss, ctx=ctx)
+                ref = connected_components(graph, ctx=ctx)
+                if not np.array_equal(labels, ref):
+                    raise invariants.InvariantViolation(
+                        "sharded components differ from in-core components"
+                    )
+                return labels
+            from repro.community.pla import pla
+
+            res = sharded_pla(ss, ctx=ctx)
+            ref = pla(graph, multilevel=True, ctx=ctx)
+            if res.modularity != ref.modularity or not np.array_equal(
+                res.labels, ref.labels
+            ):
+                raise invariants.InvariantViolation(
+                    "sharded pla differs from in-core pla(multilevel=True)"
+                )
+            return float(res.modularity), res.labels
+
+    return run
+
+
 CHECKS: tuple[Check, ...] = (
     Check("bfs", _run_bfs, lambda ref: oracles.bfs_levels(ref, 0),
           _cmp_int_arrays, directed_ok=True, min_vertices=1),
@@ -561,6 +615,15 @@ CHECKS: tuple[Check, ...] = (
     Check("cnm", _run_cnm, lambda ref: ref, _cmp_reported_modularity,
           min_vertices=1),
     Check("pla_multilevel", _run_pla_multilevel, lambda ref: ref,
+          _cmp_reported_modularity, min_vertices=1),
+    # Out-of-core twins (repro.sharded): bit-identical to the in-core
+    # kernels by construction, and answerable to the same oracles.
+    Check("sharded_msbfs", _run_sharded("msbfs"),
+          lambda ref: oracles.bfs_levels(ref, 0), _cmp_int_arrays,
+          min_vertices=1),
+    Check("sharded_components", _run_sharded("components"),
+          oracles.connected_components, _cmp_int_arrays),
+    Check("sharded_pla", _run_sharded("pla"), lambda ref: ref,
           _cmp_reported_modularity, min_vertices=1),
 )
 

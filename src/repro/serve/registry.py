@@ -60,10 +60,11 @@ class ResidentGraph:
     shared: Optional[object] = None  # repro.parallel.shm.SharedGraph
     pins: int = 0
     hits: int = 0
+    shards: Optional[int] = None  # k when loaded from a shard set
     last_used: float = field(default_factory=time.monotonic)
 
     def describe(self) -> dict:
-        return {
+        doc = {
             "name": self.name,
             "source": self.source,
             "n_vertices": self.graph.n_vertices,
@@ -74,6 +75,9 @@ class ResidentGraph:
             "hits": self.hits,
             "pinned": self.pins > 0,
         }
+        if self.shards is not None:
+            doc["shards"] = self.shards
+        return doc
 
 
 class GraphRegistry:
@@ -149,7 +153,14 @@ class GraphRegistry:
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
-    def add(self, name: str, graph: Graph, *, source: str = "memory") -> ResidentGraph:
+    def add(
+        self,
+        name: str,
+        graph: Graph,
+        *,
+        source: str = "memory",
+        shards: Optional[int] = None,
+    ) -> ResidentGraph:
         """Admit an in-memory graph under ``name`` (undirected view).
 
         Atomic: admission control and segment sharing happen before the
@@ -180,7 +191,7 @@ class GraphRegistry:
                         raise
             entry = ResidentGraph(
                 name=name, graph=graph, nbytes=nbytes,
-                source=source, shared=shared,
+                source=source, shared=shared, shards=shards,
             )
             self._graphs[name] = entry
             self.loads += 1
@@ -199,6 +210,12 @@ class GraphRegistry:
         name never re-reads the file.  A parse failure, admission
         refusal or shm allocation failure leaves no half-registered
         name behind.
+
+        A shard-set path (a directory holding ``manifest.json``, or the
+        manifest itself — see :mod:`repro.sharded`) is admitted by its
+        manifest byte totals *before* any shard data is read: a set
+        whose stitched CSR cannot fit the budget is refused without
+        paging a single shard in.
         """
         name = name if name is not None else str(path)
         with self._lock:
@@ -208,8 +225,27 @@ class GraphRegistry:
                 existing.hits += 1
                 existing.last_used = time.monotonic()
                 return existing
+        from repro.sharded import is_shard_set_path
+
+        if is_shard_set_path(path):
+            return self._load_shard_set(path, name=name)
         graph = read_auto(path, directed=directed)  # outside the lock: slow
         return self.add(name, graph, source=str(path))
+
+    def _load_shard_set(self, path: str, *, name: str) -> ResidentGraph:
+        """Stitch a shard set into residency (manifest-first admission)."""
+        from repro.sharded import open_shard_set
+
+        ss = open_shard_set(path)  # reads the manifest only
+        if self.max_bytes is not None and ss.in_core_bytes > self.max_bytes:
+            raise AdmissionDenied(
+                f"shard set {path} stitches to {ss.in_core_bytes} bytes "
+                f"(manifest total); registry budget is {self.max_bytes} bytes"
+            )
+        graph = ss.stitch()
+        return self.add(
+            name, graph, source=f"shard-set:{path}", shards=ss.k
+        )
 
     # ------------------------------------------------------------------
     # Lookup / pinning

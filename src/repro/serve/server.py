@@ -18,7 +18,10 @@ GET     ``/v1/algorithms``       registry-generated request schema
 GET     ``/v1/graphs``           resident graphs + residency stats
 GET     ``/v1/stats``            coalescer + registry + pool counters
 GET     ``/v1/result/<id>``      fetch an async ticket (202 while pending)
-POST    ``/v1/load``             ``{"path": ..., "name"?, "directed"?}``
+POST    ``/v1/load``             ``{"path": ..., "name"?, "directed"?}``;
+                                 ``path`` may be a shard-set directory —
+                                 admitted by its manifest byte totals
+                                 before any shard data is read
 POST    ``/v1/submit``           run a query (``"wait": false`` -> ticket)
 POST    ``/v1/ingest``           apply streamed edge events to a resident
                                  graph (incremental analytics per batch)

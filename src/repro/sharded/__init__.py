@@ -1,0 +1,44 @@
+"""Sharded / out-of-core graph substrate (DESIGN §12).
+
+Partition a graph into memory-mapped shards and run the traversal /
+community kernels shard-at-a-time under a BSP superstep driver, with
+results bit-identical to the in-core paths.
+"""
+
+from repro.sharded.algorithms import (
+    sharded_closeness,
+    sharded_connected_components,
+    sharded_contract,
+    sharded_modularity,
+    sharded_msbfs,
+    sharded_pla,
+)
+from repro.sharded.bsp import BSPDriver, MemoryBudget, SuperstepStats
+from repro.sharded.shards import (
+    Shard,
+    ShardSet,
+    build_shard_set,
+    in_core_nbytes,
+    is_shard_set_path,
+    load_shard,
+    open_shard_set,
+)
+
+__all__ = [
+    "Shard",
+    "ShardSet",
+    "build_shard_set",
+    "open_shard_set",
+    "load_shard",
+    "is_shard_set_path",
+    "in_core_nbytes",
+    "BSPDriver",
+    "MemoryBudget",
+    "SuperstepStats",
+    "sharded_msbfs",
+    "sharded_closeness",
+    "sharded_connected_components",
+    "sharded_modularity",
+    "sharded_contract",
+    "sharded_pla",
+]

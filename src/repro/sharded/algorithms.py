@@ -1,0 +1,746 @@
+"""Shard-at-a-time algorithms, bit-identical to the in-core kernels.
+
+Every public function here reproduces its in-core counterpart's output
+*exactly* (``np.array_equal`` on integers, equal bits on floats), while
+touching only one shard's CSR per worker task plus ``O(n)`` vertex
+state at the coordinator:
+
+* :func:`sharded_msbfs` — per superstep, each shard computes the level's
+  candidate set from its local adjacency against a shipped distance
+  snapshot; the union of candidates is exactly the in-core engine's
+  claim set, so the distance plane and level count match bit for bit
+  (the claimed value is level-independent of arc order).
+* :func:`sharded_connected_components` — min-label hook supersteps plus
+  coordinator pointer compression; converges to the min-vertex-id
+  labels the in-core Shiloach–Vishkin kernel is specified to return.
+* :func:`sharded_closeness` — sharded traversals + the in-core
+  reduction/assembly arithmetic verbatim (unweighted graphs only, as
+  in-core weighted closeness switches to per-source Dijkstra).
+* :func:`sharded_pla` — the multilevel Louvain loop of
+  ``community.pla._multilevel_pla`` with the level-0 (fine-graph)
+  sweeps, modularity guard, contraction and final refinement running
+  out of core.  Exactness hinges on three facts: per-vertex best-move
+  gains are a pure function of that vertex's own arc list (present in
+  full on its owning shard, in global CSR arc order); the dense local
+  label remap is monotone, so every lexsort permutation matches the
+  global one; and the chunked edge-stream modularity preserves
+  ``np.add.at``'s element-order accumulation exactly.  Weighted-graph
+  contraction materializes the coarse edge list in core (float merge
+  order cannot be chunked without changing the sums) — documented
+  fallback; the unweighted path streams integer counts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.community.modularity import modularity
+from repro.community.pla import (
+    _best_moves_numpy,
+    _loopless_arcs,
+    _sweep_once,
+    _vertex_strengths,
+)
+from repro.community.result import ClusteringResult
+from repro.errors import ClusteringError, GraphStructureError
+from repro.graph.builder import contract, from_edge_array
+from repro.graph.csr import VERTEX_DTYPE, Graph
+from repro.kernels.bfs import MSBFSResult, UNREACHED, source_batches
+from repro.sharded.bsp import BSPDriver, MemoryBudget
+from repro.sharded.shards import ShardSet, _cached_shard, concat_ranges
+
+__all__ = [
+    "sharded_msbfs",
+    "sharded_closeness",
+    "sharded_connected_components",
+    "sharded_modularity",
+    "sharded_contract",
+    "sharded_pla",
+]
+
+#: Edges per chunk for the streamed modularity / contraction passes.
+DEFAULT_CHUNK_EDGES = 1 << 20
+
+#: Arcs per block for worker-side neighbor expansions.  Workers never
+#: materialize a full-shard arc expansion — they walk the CSR in blocks
+#: of ~this many arcs, keeping transients O(ARC_CHUNK) instead of
+#: O(shard arcs).  Results are exact: candidate sets are deduped by the
+#: final ``np.unique`` and per-row minima are row-independent.
+ARC_CHUNK = 1 << 21
+
+
+def _unique_sorted(values: np.ndarray) -> np.ndarray:
+    """Sorted-unique for integer arrays via in-place sort + run mask.
+
+    Identical output to ``np.unique`` on ints, but avoids numpy 2.x's
+    hash-table path, whose working set (~16 B/element) dwarfs the
+    candidate arrays themselves on the big frontier levels.  Takes
+    ownership of ``values`` (sorts it in place) — callers pass freshly
+    materialized arrays.
+    """
+    if values.shape[0] <= 1:
+        return values
+    values.sort()
+    keep = np.empty(values.shape[0], dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
+
+
+def _arc_chunk_bounds(deg: np.ndarray) -> np.ndarray:
+    """Vertex-list cut points so each block expands ≲ ``ARC_CHUNK`` arcs."""
+    nv = deg.shape[0]
+    if nv == 0:
+        return np.zeros(1, dtype=np.int64)
+    cum = np.cumsum(deg, dtype=np.int64)
+    total = int(cum[-1])
+    if total <= ARC_CHUNK:
+        return np.array([0, nv], dtype=np.int64)
+    cuts = np.searchsorted(
+        cum, np.arange(ARC_CHUNK, total, ARC_CHUNK, dtype=np.int64),
+        side="left",
+    ) + 1
+    return np.unique(np.concatenate((
+        np.zeros(1, dtype=np.int64), cuts, np.array([nv], dtype=np.int64)
+    )))
+
+
+# Worker-side shard cache lives in repro.sharded.shards so the BSP
+# driver can drop it between supersteps without a circular import.
+
+
+def _resolve_driver(
+    shard_set: ShardSet,
+    driver: Optional[BSPDriver],
+    ctx,
+    mem_budget: Optional[MemoryBudget],
+) -> BSPDriver:
+    if driver is not None:
+        return driver
+    return BSPDriver(shard_set, ctx=ctx, mem_budget=mem_budget)
+
+
+# ---------------------------------------------------------------------------
+# msbfs
+# ---------------------------------------------------------------------------
+def _msbfs_level_worker(task):
+    """One (shard, level) step: return this shard's candidate flat ids.
+
+    Top-down: neighbors of the shipped frontier vertices that the
+    pre-level distance snapshot shows unreached.  Bottom-up: owned
+    unreached vertices with any neighbor at the current level.  On an
+    undirected graph both describe the same global candidate set, so
+    the per-level direction choice never changes results.
+    """
+    path, index, n, level, bottom_up, dist_global, lanes, vloc = task
+    sh = _cached_shard(path, index)
+    offs = np.asarray(sh.offsets)
+    tg = np.asarray(sh.targets)
+    l2g = sh.local_to_global
+    # Payloads carry the *global* distance snapshot (one array shared by
+    # every payload of the superstep); each worker derives its own local
+    # (owned ++ halo) columns, so the coordinator never materializes
+    # per-shard snapshots.
+    dist_local = dist_global[:, l2g]
+    parts = []
+    if bottom_up:
+        n_owned = sh.n_owned
+        for lane in range(dist_local.shape[0]):
+            dl = dist_local[lane]
+            uverts = np.flatnonzero(dl[:n_owned] == UNREACHED)
+            if uverts.shape[0] == 0:
+                continue
+            deg = offs[uverts + 1] - offs[uverts]
+            bounds = _arc_chunk_bounds(deg)
+            for b0, b1 in zip(bounds[:-1], bounds[1:]):
+                uv = uverts[b0:b1]
+                dg = deg[b0:b1]
+                arc_idx = concat_ranges(offs[uv], dg)
+                if arc_idx.shape[0] == 0:
+                    continue
+                hits = dl[tg[arc_idx]] == level
+                if not hits.any():
+                    continue
+                src_pos = np.repeat(
+                    np.arange(uv.shape[0], dtype=np.int64), dg
+                )
+                hit_src = _unique_sorted(src_pos[hits])
+                parts.append(lane * n + l2g[uv[hit_src]])
+    else:
+        deg = offs[vloc + 1] - offs[vloc]
+        bounds = _arc_chunk_bounds(deg)
+        for b0, b1 in zip(bounds[:-1], bounds[1:]):
+            vl = vloc[b0:b1]
+            dg = deg[b0:b1]
+            arc_idx = concat_ranges(offs[vl], dg)
+            if arc_idx.shape[0] == 0:
+                continue
+            rep_lanes = np.repeat(lanes[b0:b1], dg)
+            tloc = tg[arc_idx]
+            unseen = dist_local[rep_lanes, tloc] == UNREACHED
+            if unseen.any():
+                parts.append(rep_lanes[unseen] * n + l2g[tloc[unseen]])
+    cand = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+    del parts
+    return _unique_sorted(cand)
+
+
+def sharded_msbfs(
+    shard_set: ShardSet,
+    sources,
+    *,
+    max_depth: Optional[int] = None,
+    driver: Optional[BSPDriver] = None,
+    ctx=None,
+    mem_budget: Optional[MemoryBudget] = None,
+) -> MSBFSResult:
+    """Level-synchronous multi-source BFS over a shard set.
+
+    One superstep per level; the frontier/distance boundary exchange
+    ships each shard a snapshot of its local (owned + halo) distance
+    columns.  ``result.distances`` is bit-identical to
+    ``kernels.bfs.msbfs`` on the stitched graph.
+    """
+    ss = shard_set
+    drv = _resolve_driver(ss, driver, ctx, mem_budget)
+    n = ss.n_vertices
+    srcs = np.asarray(list(sources), dtype=np.int64)
+    k = srcs.shape[0]
+    if k and (srcs.min() < 0 or srcs.max() >= n):
+        bad = srcs[(srcs < 0) | (srcs >= n)][0]
+        raise GraphStructureError(f"source {int(bad)} out of range [0, {n})")
+    dist = np.full((k, n), UNREACHED, dtype=np.int32)
+    if k == 0:
+        return MSBFSResult(srcs, dist, 0)
+    dist_flat = dist.reshape(-1)
+    lanes = np.arange(k, dtype=np.int64)
+    dist[lanes, srcs] = 0
+    verts = srcs.copy()
+    level = 0
+    degs_all = drv.degrees()
+    todo_arcs = int(k * ss.n_arcs - degs_all[srcs].sum())
+    owner = ss.owner
+    local_index = ss.local_index
+    occupied = [
+        s for s in range(ss.k)
+        if ss.shard_meta(s)["n_owned"] + ss.shard_meta(s)["n_halo"]
+    ]
+    while verts.shape[0]:
+        if max_depth is not None and level >= max_depth:
+            break
+        bottom_up = todo_arcs < int(degs_all.take(verts).sum())
+        # Every payload shares ONE reference to the global distance
+        # snapshot — safe because `dist` only advances *between*
+        # supersteps, and O(n) instead of O(n + total halo) resident.
+        payloads = []
+        if bottom_up:
+            for s in occupied:
+                payloads.append((
+                    str(ss.shard_path(s)), s, n, level, True,
+                    dist, None, None,
+                ))
+        else:
+            ow = owner[verts]
+            for s in occupied:
+                mask = ow == s
+                if not mask.any():
+                    continue
+                payloads.append((
+                    str(ss.shard_path(s)), s, n, level, False,
+                    dist, lanes[mask], local_index[verts[mask]],
+                ))
+        results = drv.superstep(
+            f"msbfs:level{level}", _msbfs_level_worker, payloads
+        )
+        parts = [r for r in results if r is not None and r.shape[0]]
+        if not parts:
+            break
+        cand = np.concatenate(parts)
+        del results, parts  # free per-shard copies before the merge sort
+        cand = _unique_sorted(cand)
+        dist_flat[cand] = level + 1
+        lanes = cand // n
+        verts = cand - lanes * n
+        todo_arcs -= int(degs_all.take(verts).sum())
+        level += 1
+    return MSBFSResult(srcs, dist, level)
+
+
+# ---------------------------------------------------------------------------
+# closeness
+# ---------------------------------------------------------------------------
+def sharded_closeness(
+    shard_set: ShardSet,
+    *,
+    sources: Optional[Sequence[int]] = None,
+    wf_improved: bool = True,
+    batch_size: Optional[int] = None,
+    driver: Optional[BSPDriver] = None,
+    ctx=None,
+    mem_budget: Optional[MemoryBudget] = None,
+) -> np.ndarray:
+    """Closeness centrality over a shard set (unweighted graphs).
+
+    Batches sources exactly like the in-core path and applies the same
+    reduction arithmetic, so scores are bit-identical.  Weighted graphs
+    use per-source Dijkstra in core — not a shard-at-a-time shape —
+    and are rejected here.
+    """
+    ss = shard_set
+    if ss.is_weighted:
+        raise GraphStructureError(
+            "sharded closeness supports unweighted graphs only "
+            "(in-core weighted closeness is per-source Dijkstra)"
+        )
+    drv = _resolve_driver(ss, driver, ctx, mem_budget)
+    n = ss.n_vertices
+    if sources is None:
+        sources = range(n)
+    src_list = list(sources)
+    out = np.zeros(n, dtype=np.float64)
+    batches = source_batches(src_list, batch_size, n)
+    for batch in batches:
+        dist = sharded_msbfs(ss, batch, driver=drv).distances
+        reached = dist >= 0
+        r = reached.sum(axis=1).astype(np.int64)
+        total = np.where(reached, dist, 0).sum(axis=1).astype(np.float64)
+        valid = (r > 1) & (total > 0)
+        cc = np.zeros(batch.shape[0], dtype=np.float64)
+        cc[valid] = (r[valid] - 1) / total[valid]
+        if wf_improved and n > 1:
+            cc[valid] *= (r[valid] - 1) / (n - 1)
+        out[batch] = cc
+    return out
+
+
+# ---------------------------------------------------------------------------
+# connected components
+# ---------------------------------------------------------------------------
+def _cc_round_worker(task):
+    """Per-owned-vertex min over {own label} ∪ {neighbor labels}."""
+    path, index, labels_global = task
+    sh = _cached_shard(path, index)
+    n_owned = sh.n_owned
+    labels_local = labels_global[sh.local_to_global]
+    own = labels_local[:n_owned].copy()
+    offs = np.asarray(sh.offsets)
+    tg = np.asarray(sh.targets)
+    deg = offs[1:] - offs[:-1]
+    bounds = _arc_chunk_bounds(deg)
+    for b0, b1 in zip(bounds[:-1], bounds[1:]):
+        nz = np.flatnonzero(deg[b0:b1])
+        if nz.shape[0] == 0:
+            continue
+        rows = b0 + nz
+        nbr_lab = labels_local[tg[offs[b0]:offs[b1]]]
+        row_min = np.minimum.reduceat(nbr_lab, offs[rows] - offs[b0])
+        own[rows] = np.minimum(own[rows], row_min)
+    return own
+
+
+def sharded_connected_components(
+    shard_set: ShardSet,
+    *,
+    driver: Optional[BSPDriver] = None,
+    ctx=None,
+    mem_budget: Optional[MemoryBudget] = None,
+) -> np.ndarray:
+    """Component labels (min vertex id per component) over a shard set.
+
+    Min-label hook supersteps with coordinator pointer compression —
+    the same fixpoint the in-core Shiloach–Vishkin kernel returns, so
+    labels are bit-identical.
+    """
+    ss = shard_set
+    drv = _resolve_driver(ss, driver, ctx, mem_budget)
+    n = ss.n_vertices
+    label = np.arange(n, dtype=np.int64)
+    if ss.n_arcs == 0:
+        return label
+    active = [s for s in range(ss.k) if ss.shard_meta(s)["n_owned"]]
+    round_no = 0
+    while True:
+        # The label snapshot is shared by reference across payloads —
+        # it only advances between supersteps (see msbfs note).
+        payloads = [(str(ss.shard_path(s)), s, label) for s in active]
+        results = drv.superstep(
+            f"cc:round{round_no}", _cc_round_worker, payloads
+        )
+        changed = False
+        for s, res in zip(active, results):
+            owned = ss.member_array(s, "owned")
+            if not changed and bool((res < label[owned]).any()):
+                changed = True
+            np.minimum(label[owned], res, out=res)
+            label[owned] = res
+        # Pointer compression: labels are vertex ids, so label[label]
+        # jumps every vertex to its current representative's label.
+        while True:
+            nxt = label[label]
+            if np.array_equal(nxt, label):
+                break
+            label = nxt
+        if not changed:
+            break
+        round_no += 1
+    return label
+
+
+# ---------------------------------------------------------------------------
+# Streamed modularity / contraction over the global edge stream
+# ---------------------------------------------------------------------------
+def sharded_modularity(
+    shard_set: ShardSet,
+    labels: np.ndarray,
+    *,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+) -> float:
+    """Modularity of a partition, streamed over the edge stream.
+
+    ``np.add.at`` accumulates element-by-element, so carrying the
+    accumulator across edge-id-ordered chunks reproduces the in-core
+    single-pass accumulation order — and therefore its float results —
+    exactly.  ``total_w`` comes from the manifest's hex-exact total.
+    """
+    ss = shard_set
+    labels = np.asarray(labels)
+    if labels.shape[0] != ss.n_vertices:
+        raise ClusteringError(
+            f"labels length {labels.shape[0]} != n_vertices {ss.n_vertices}"
+        )
+    if ss.n_edges == 0:
+        return 0.0
+    _, dense = np.unique(labels, return_inverse=True)
+    k = int(dense.max()) + 1 if dense.shape[0] else 0
+    total_w = ss.total_weight
+    intra = np.zeros(k, dtype=np.float64)
+    strength = np.zeros(k, dtype=np.float64)
+    u_r, v_r, w_r = ss.edge_readers()
+    m = ss.n_edges
+    for start in range(0, m, chunk_edges):
+        stop = min(m, start + chunk_edges)
+        du = dense[u_r.read(start, stop)]
+        dv = dense[v_r.read(start, stop)]
+        w = (
+            np.ones(stop - start, dtype=np.float64)
+            if w_r is None
+            else w_r.read(start, stop)
+        )
+        same = du == dv
+        np.add.at(intra, du[same], w[same])
+        np.add.at(strength, du, w)
+        np.add.at(strength, dv, w)
+    q = intra.sum() / total_w - float(((strength / (2.0 * total_w)) ** 2).sum())
+    return float(q)
+
+
+def sharded_contract(
+    shard_set: ShardSet,
+    labels: np.ndarray,
+    *,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+) -> tuple[Graph, np.ndarray]:
+    """Contract the sharded graph by ``labels`` into an in-core coarse
+    graph, exactly matching :func:`repro.graph.builder.contract`.
+
+    Unweighted graphs stream integer multi-edge counts chunk by chunk
+    (integer addition is association-free, so any chunking is exact).
+    Weighted graphs materialize the edge stream: the in-core merge sums
+    weights in stable-sorted order and float addition is not
+    reassociable, so this path trades the O(m) bound for exactness.
+    """
+    ss = shard_set
+    _, vertex_map = np.unique(np.asarray(labels), return_inverse=True)
+    vertex_map = vertex_map.astype(VERTEX_DTYPE)
+    k = int(vertex_map.max()) + 1 if vertex_map.shape[0] else 0
+    m = ss.n_edges
+    if m == 0:
+        empty = np.empty(0, dtype=VERTEX_DTYPE)
+        return (
+            from_edge_array(k, empty, empty, directed=False, dedupe=False),
+            vertex_map,
+        )
+    if ss.is_weighted:
+        u, v, w = ss.edge_stream()
+        cu, cv = vertex_map[np.asarray(u)], vertex_map[np.asarray(v)]
+        lo = np.minimum(cu, cv)
+        hi = np.maximum(cu, cv)
+        key = lo * k + hi
+        order = np.argsort(key, kind="stable")
+        key = key[order]
+        lo, hi, w2 = lo[order], hi[order], np.asarray(w)[order]
+        first = np.empty(key.shape[0], dtype=bool)
+        first[0] = True
+        np.not_equal(key[1:], key[:-1], out=first[1:])
+        group = np.cumsum(first) - 1
+        merged_w = np.bincount(group, weights=w2)
+        coarse = from_edge_array(
+            k, lo[first], hi[first], weights=merged_w,
+            directed=False, dedupe=False, drop_self_loops=False,
+        )
+        return coarse, vertex_map
+    u_r, v_r, _ = ss.edge_readers()
+    keys_acc = np.empty(0, dtype=np.int64)
+    counts_acc = np.empty(0, dtype=np.int64)
+    for start in range(0, m, chunk_edges):
+        stop = min(m, start + chunk_edges)
+        cu = vertex_map[u_r.read(start, stop)]
+        cv = vertex_map[v_r.read(start, stop)]
+        lo = np.minimum(cu, cv)
+        hi = np.maximum(cu, cv)
+        key = lo * k + hi
+        uk, cnt = np.unique(key, return_counts=True)
+        if keys_acc.shape[0] == 0:
+            keys_acc, counts_acc = uk, cnt.astype(np.int64)
+        else:
+            merged = np.union1d(keys_acc, uk)
+            mc = np.zeros(merged.shape[0], dtype=np.int64)
+            mc[np.searchsorted(merged, keys_acc)] += counts_acc
+            mc[np.searchsorted(merged, uk)] += cnt
+            keys_acc, counts_acc = merged, mc
+    lo_u = (keys_acc // k).astype(VERTEX_DTYPE)
+    hi_u = (keys_acc - (keys_acc // k) * k).astype(VERTEX_DTYPE)
+    coarse = from_edge_array(
+        k, lo_u, hi_u, weights=counts_acc.astype(np.float64),
+        directed=False, dedupe=False, drop_self_loops=False,
+    )
+    return coarse, vertex_map
+
+
+# ---------------------------------------------------------------------------
+# pLA (multilevel)
+# ---------------------------------------------------------------------------
+def _pla_strength_worker(task):
+    """Vertex strengths of this shard's owned rows (self-loops count)."""
+    path, index = task
+    sh = _cached_shard(path, index)
+    offs = np.asarray(sh.offsets)
+    deg = offs[1:] - offs[:-1]
+    src_l = np.repeat(np.arange(sh.n_owned, dtype=np.int64), deg)
+    w_l = (
+        np.ones(sh.n_arcs, dtype=np.float64)
+        if sh.weights is None
+        else np.asarray(sh.weights, dtype=np.float64)
+    )
+    return np.bincount(src_l, weights=w_l, minlength=sh.n_owned)
+
+
+def _pla_sweep_worker(task):
+    """Best-move rows for this shard's owned vertices.
+
+    Runs the reference ``_best_moves_numpy`` on the shard's loopless
+    arcs with a dense local label remap.  The remap is monotone
+    (sorted-unique), so the lexsort/grouping permutations — and hence
+    every float accumulation order — match the global in-core scan.
+    """
+    path, index, labels_global, strength_global, s_global, big_w = task
+    sh = _cached_shard(path, index)
+    # Derive the shard-local views from the shared global snapshots
+    # (labels / strengths / community strengths advance only between
+    # supersteps, so sharing them by reference is safe).
+    lab_l = labels_global[sh.local_to_global]
+    present, lab_dense = np.unique(lab_l, return_inverse=True)
+    lab_dense = lab_dense.astype(np.int64)
+    s_present = s_global[present]
+    strength_own = strength_global[np.asarray(sh.owned)]
+    offs = np.asarray(sh.offsets)
+    deg = offs[1:] - offs[:-1]
+    src_l = np.repeat(np.arange(sh.n_owned, dtype=np.int64), deg)
+    tgt_l = np.asarray(sh.targets, dtype=np.int64)
+    w_l = (
+        np.ones(tgt_l.shape[0], dtype=np.float64)
+        if sh.weights is None
+        else np.asarray(sh.weights, dtype=np.float64)
+    )
+    keep = src_l != tgt_l
+    if not keep.all():
+        src_l, tgt_l, w_l = src_l[keep], tgt_l[keep], w_l[keep]
+    if src_l.shape[0] == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    vid, best_lab_d, best_gain = _best_moves_numpy(
+        lab_dense, strength_own, s_present, big_w, src_l, tgt_l, w_l
+    )
+    best_lab = np.where(
+        best_lab_d < 0, -1, present[np.maximum(best_lab_d, 0)]
+    )
+    return sh.local_to_global[vid], best_lab, best_gain
+
+
+def _gather_strengths(drv: BSPDriver) -> np.ndarray:
+    """Global vertex-strength array via one superstep (exact floats:
+    each vertex's strength is accumulated over its own CSR row in arc
+    order, same as the global bincount)."""
+    ss = drv.shard_set
+    active = [s for s in range(ss.k) if ss.shard_meta(s)["n_owned"]]
+    payloads = [(str(ss.shard_path(s)), s) for s in active]
+    results = drv.superstep("pla:strengths", _pla_strength_worker, payloads)
+    strength = np.zeros(ss.n_vertices, dtype=np.float64)
+    for s, res in zip(active, results):
+        strength[ss.member_array(s, "owned")] = res
+    return strength
+
+
+def _sharded_sweep_once(
+    drv: BSPDriver,
+    labels: np.ndarray,
+    strength_v: np.ndarray,
+    big_w: float,
+    q: float,
+    sweep_no: int,
+) -> tuple[np.ndarray, float, int]:
+    """One synchronized local-moving sweep over the shards.
+
+    Mirrors ``community.pla._sweep_once``: same per-vertex best-move
+    rows (merged in ascending vertex order), same mover filter, same
+    gain-ranked prefix-halving modularity guard.
+    """
+    ss = drv.shard_set
+    n = ss.n_vertices
+    S = np.bincount(labels, weights=strength_v, minlength=n)
+    active = [s for s in range(ss.k) if ss.shard_meta(s)["n_owned"]]
+    # Workers derive their dense label remap locally from the shared
+    # global snapshots; the coordinator ships three O(n) arrays, not
+    # per-shard materialized slices.
+    payloads = [
+        (str(ss.shard_path(s)), s, labels, strength_v, S, big_w)
+        for s in active
+    ]
+    results = drv.superstep(
+        f"pla:sweep{sweep_no}", _pla_sweep_worker, payloads
+    )
+    parts = [r for r in results if r is not None and r[0].shape[0]]
+    if not parts:
+        return labels, q, 0
+    vid = np.concatenate([p[0] for p in parts])
+    best_lab = np.concatenate([p[1] for p in parts])
+    best_gain = np.concatenate([p[2] for p in parts])
+    order = np.argsort(vid, kind="stable")
+    vid, best_lab, best_gain = vid[order], best_lab[order], best_gain[order]
+
+    movers = np.nonzero(best_gain > 1e-12)[0]
+    if movers.shape[0] == 0:
+        return labels, q, 0
+    mv_v = vid[movers]
+    mv_lab = best_lab[movers]
+    mv_gain = best_gain[movers]
+    rank = np.lexsort((mv_v, -mv_gain))
+    take = int(mv_v.shape[0])
+    while take > 0:
+        sel = rank[:take]
+        cand = labels.copy()
+        cand[mv_v[sel]] = mv_lab[sel]
+        q_new = sharded_modularity(ss, cand)
+        if q_new > q:
+            return cand, q_new, take
+        take //= 2
+    return labels, q, 0
+
+
+def sharded_pla(
+    shard_set: ShardSet,
+    *,
+    max_passes: int = 16,
+    driver: Optional[BSPDriver] = None,
+    ctx=None,
+    mem_budget: Optional[MemoryBudget] = None,
+) -> ClusteringResult:
+    """Multilevel pLA over a shard set; bit-identical to
+    ``pla(graph, multilevel=True)`` on the stitched graph.
+
+    Level 0 (the fine graph — the only level that is ``O(m)``) runs
+    sharded: strengths, best-move sweeps and the modularity guard all
+    stream shard-at-a-time.  Contraction levels ≥ 1 operate on the
+    already-coarsened in-core graph via the same helpers the in-core
+    path uses; the final refinement sweeps run sharded again.
+    """
+    ss = shard_set
+    if ss.directed:
+        raise GraphStructureError(
+            "community detection requires an undirected graph"
+        )
+    if max_passes < 1:
+        raise ValueError("max_passes must be >= 1")
+    n = ss.n_vertices
+    if n == 0:
+        raise ClusteringError("cannot cluster an empty graph")
+    big_w = ss.total_weight
+    if big_w == 0.0:
+        return ClusteringResult(np.arange(n, dtype=np.int64), 0.0, "pLA")
+    drv = _resolve_driver(ss, driver, ctx, mem_budget)
+
+    labels_g = np.arange(n, dtype=np.int64)
+    level_maps: list[np.ndarray] = []
+    n_sweeps = 0  # coarsening-phase sweeps, as in-core counts them
+    sweep_label = 0  # superstep naming only (refinement sweeps included)
+
+    # Level 0: sharded sweeps + streamed guard on the fine graph.
+    strength_fine = _gather_strengths(drv)
+    q = sharded_modularity(ss, labels_g)
+    for _ in range(max_passes):
+        labels_g, q, moved = _sharded_sweep_once(
+            drv, labels_g, strength_fine, big_w, q, sweep_label
+        )
+        n_sweeps += 1
+        sweep_label += 1
+        if moved == 0:
+            break
+    n_clusters = int(np.unique(labels_g).shape[0])
+    if n_clusters != n:
+        g, vmap = sharded_contract(ss, labels_g)
+        level_maps.append(vmap)
+        labels_g = np.arange(g.n_vertices, dtype=np.int64)
+        # Levels >= 1: the coarse graph fits in core; continue with the
+        # exact in-core loop of _multilevel_pla.
+        if g.n_vertices > 1:
+            while True:
+                strength_v = _vertex_strengths(g)
+                src, tgt, w = _loopless_arcs(g)
+                q = modularity(g, labels_g)
+                for _ in range(max_passes):
+                    labels_g, q, moved = _sweep_once(
+                        g, labels_g, strength_v, big_w, q, src, tgt, w
+                    )
+                    n_sweeps += 1
+                    if moved == 0:
+                        break
+                n_clusters = int(np.unique(labels_g).shape[0])
+                if n_clusters == g.n_vertices:
+                    break
+                g, vmap = contract(g, labels_g)
+                level_maps.append(vmap)
+                labels_g = np.arange(g.n_vertices, dtype=np.int64)
+                if g.n_vertices <= 1:
+                    break
+
+    labels = labels_g
+    for vmap in reversed(level_maps):
+        labels = labels[vmap]
+    # Uncoarsening refinement on the fine graph — sharded sweeps again
+    # (in-core counts only coarsening sweeps in extras, mirrored here).
+    labels = np.asarray(labels, dtype=np.int64).copy()
+    q = sharded_modularity(ss, labels)
+    for _ in range(max_passes):
+        labels, q, moved = _sharded_sweep_once(
+            drv, labels, strength_fine, big_w, q, sweep_label
+        )
+        sweep_label += 1
+        if moved == 0:
+            break
+    labels = np.unique(labels, return_inverse=True)[1].astype(np.int64)
+    q = sharded_modularity(ss, labels)
+    return ClusteringResult(
+        labels,
+        q,
+        "pLA",
+        extras={
+            "multilevel": True,
+            "n_levels": len(level_maps),
+            "n_sweeps": n_sweeps,
+        },
+    )

@@ -1,0 +1,244 @@
+"""BSP superstep driver for shard-at-a-time execution (DESIGN §12).
+
+Algorithms over a :class:`~repro.sharded.shards.ShardSet` run as a
+sequence of *supersteps*: the coordinator builds one self-contained
+payload per shard from its O(n)-vertex state, fans them out over the
+execution context (serial / thread / process backend), and folds the
+per-shard results back in.  Workers are pure functions of their payload
+plus the immutable on-disk shard, so:
+
+* **Recovery** falls out of the resilience runtime for free: a worker
+  killed mid-superstep (chaos ``exit`` faults, real crashes) is re-run
+  by the active :class:`~repro.parallel.resilience.FaultPolicy` with the
+  *same* payload — i.e. from the state of the last completed superstep —
+  and produces bit-identical results.
+* **Working memory** stays ``O(largest shard + halo)`` per worker (each
+  worker memory-maps at most one shard at a time) plus ``O(n)`` vertex
+  state at the coordinator — never the ``O(n + m)`` in-core CSR.
+
+The driver records per-superstep wall time and boundary-exchange bytes
+(payload out / results in) for the ``shard_full`` benchmark gate, and
+enforces an optional :class:`MemoryBudget`.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MemoryBudgetExceeded
+from repro.parallel.runtime import ParallelContext, ensure_context
+from repro.sharded.shards import ShardSet, clear_shard_cache
+
+__all__ = ["MemoryBudget", "SuperstepStats", "BSPDriver", "payload_nbytes"]
+
+
+def payload_nbytes(obj) -> int:
+    """Approximate wire size of a superstep payload / result."""
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(v) for v in obj.values())
+    if isinstance(obj, (bytes, str)):
+        return len(obj)
+    return 8
+
+
+class MemoryBudget:
+    """A peak working-memory cap, in bytes.
+
+    Two enforcement points:
+
+    * :meth:`admit` — an up-front refusal: raise when a *planned*
+      allocation (the in-core CSR, a shard working set, a registry
+      admission) provably exceeds the cap.  This is what makes "the
+      in-core path is refused by the budget guard" a deterministic,
+      testable event rather than an OOM kill.
+    * :meth:`check_rss` — a measured backstop: compare the process
+      tree's peak RSS high-water mark against the cap after each
+      superstep.  Off by default (``enforce_rss=False``) because the
+      interpreter's baseline RSS dominates small runs; the
+      ``shard_full`` gate turns it on.
+    """
+
+    def __init__(self, cap_bytes: int, *, enforce_rss: bool = False) -> None:
+        if cap_bytes <= 0:
+            raise ValueError("cap_bytes must be positive")
+        self.cap_bytes = int(cap_bytes)
+        self.enforce_rss = bool(enforce_rss)
+
+    @staticmethod
+    def peak_rss_bytes() -> int:
+        """Peak RSS of this process and its (reaped) children, bytes.
+
+        Self is read from ``/proc/self/status`` ``VmHWM`` where
+        available: Linux carries ``ru_maxrss`` across ``fork``+``exec``
+        (it lives in the signal struct), so a fresh subprocess spawned
+        from a large parent would inherit the parent's high-water mark
+        and trip the budget before doing any work.  ``VmHWM`` belongs
+        to the post-exec address space and has no such ghost.
+        """
+        self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        try:
+            with open("/proc/self/status") as f:
+                for line in f:
+                    if line.startswith("VmHWM:"):
+                        self_kb = int(line.split()[1])
+                        break
+        except OSError:
+            pass
+        child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+        return int(max(self_kb, child_kb)) * 1024
+
+    def admit(self, nbytes: int, what: str) -> int:
+        """Refuse a planned allocation that cannot fit under the cap."""
+        if int(nbytes) > self.cap_bytes:
+            raise MemoryBudgetExceeded(
+                f"{what} needs {int(nbytes)} bytes; memory budget is "
+                f"{self.cap_bytes} bytes"
+            )
+        return int(nbytes)
+
+    def check_rss(self, what: str = "superstep") -> int:
+        """Measured peak-RSS backstop; returns the current peak."""
+        peak = self.peak_rss_bytes()
+        if self.enforce_rss and peak > self.cap_bytes:
+            raise MemoryBudgetExceeded(
+                f"peak RSS {peak} bytes exceeded memory budget "
+                f"{self.cap_bytes} bytes during {what}"
+            )
+        return peak
+
+
+@dataclass
+class SuperstepStats:
+    """One superstep's ledger entry."""
+
+    index: int
+    phase: str
+    n_tasks: int
+    seconds: float
+    bytes_out: int  # coordinator → workers (payloads)
+    bytes_in: int   # workers → coordinator (results)
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "phase": self.phase,
+            "n_tasks": self.n_tasks,
+            "seconds": self.seconds,
+            "bytes_out": self.bytes_out,
+            "bytes_in": self.bytes_in,
+        }
+
+
+@dataclass
+class BSPDriver:
+    """Runs supersteps over a shard set and keeps the metrics ledger."""
+
+    shard_set: ShardSet
+    ctx: Optional[ParallelContext] = None
+    mem_budget: Optional[MemoryBudget] = None
+    stats: list = field(default_factory=list)
+    last_completed: int = -1
+    _degrees: Optional[np.ndarray] = None
+    _paged_in: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.ctx = ensure_context(self.ctx)
+        if self.mem_budget is not None:
+            # Every superstep maps at most one shard per worker; refuse
+            # up front if even that working set cannot fit.
+            self.mem_budget.admit(
+                self.shard_set.largest_shard_bytes,
+                f"largest shard of {self.shard_set.root}",
+            )
+
+    # ------------------------------------------------------------------
+    def superstep(
+        self,
+        phase: str,
+        worker: Callable,
+        payloads: Sequence,
+        *,
+        costs: Optional[Sequence[float]] = None,
+    ) -> list:
+        """Fan one superstep out over the backend and ledger it.
+
+        ``worker`` must be module-level (process-backend picklable) and
+        pure in its payload; the active FaultPolicy re-runs crashed
+        tasks with the same payload, which is exactly "resume from the
+        last completed superstep" because payloads are built from
+        coordinator state that only advances *between* supersteps.
+        """
+        index = self.last_completed + 1
+        # Model the mmap page-in of each shard the first time a
+        # superstep touches it (the worker-side cache makes later
+        # touches warm); payloads lead with (path, shard_index, ...).
+        for p in payloads:
+            if isinstance(p, tuple) and len(p) >= 2 and isinstance(p[1], int):
+                s = p[1]
+                if s not in self._paged_in and 0 <= s < self.shard_set.k:
+                    self._paged_in.add(s)
+                    self.ctx.cost.page_in(
+                        int(self.shard_set.shard_meta(s)["bytes"])
+                    )
+        t0 = time.perf_counter()
+        results = self.ctx.map(worker, list(payloads), costs=costs)
+        seconds = time.perf_counter() - t0
+        # In-process backends leave the last shard mapped in this
+        # process; drop it so coordinator merge transients between
+        # supersteps don't stack on top of mapped shard pages.  (With
+        # the process backend the caches live in the children — this
+        # clears the coordinator's empty cache, a no-op.)
+        clear_shard_cache()
+        self.stats.append(
+            SuperstepStats(
+                index=index,
+                phase=phase,
+                n_tasks=len(payloads),
+                seconds=seconds,
+                bytes_out=payload_nbytes(list(payloads)),
+                bytes_in=payload_nbytes(results),
+            )
+        )
+        self.last_completed = index
+        if self.mem_budget is not None:
+            self.mem_budget.check_rss(f"superstep {index} ({phase})")
+        return results
+
+    # ------------------------------------------------------------------
+    def degrees(self) -> np.ndarray:
+        """Global degree array, gathered once from the shard CSRs."""
+        if self._degrees is None:
+            ss = self.shard_set
+            deg = np.zeros(ss.n_vertices, dtype=np.int64)
+            for s in range(ss.k):
+                owned = ss.member_array(s, "owned")
+                if owned.shape[0]:
+                    deg[owned] = np.diff(ss.member_array(s, "offsets"))
+            self._degrees = deg
+        return self._degrees
+
+    def metrics(self) -> dict:
+        """Ledger summary for ``benchmarks/results/shard_scale.json``."""
+        return {
+            "k_shards": self.shard_set.k,
+            "backend": self.ctx.backend,
+            "n_workers": self.ctx.n_workers,
+            "n_supersteps": len(self.stats),
+            "seconds_total": float(sum(s.seconds for s in self.stats)),
+            "boundary_bytes_out": int(sum(s.bytes_out for s in self.stats)),
+            "boundary_bytes_in": int(sum(s.bytes_in for s in self.stats)),
+            "peak_rss_bytes": MemoryBudget.peak_rss_bytes(),
+            "mem_budget_bytes": (
+                self.mem_budget.cap_bytes if self.mem_budget else None
+            ),
+            "supersteps": [s.as_dict() for s in self.stats],
+        }

@@ -1,0 +1,747 @@
+"""Sharded memory-mapped graph substrate (DESIGN §12).
+
+A *shard set* is an on-disk partition of one undirected CSR graph into
+``k`` shards, laid out so that every algorithm can run shard-at-a-time
+with working memory ``O(largest shard + halo)`` instead of ``O(graph)``:
+
+* ``shard_NNNN.npz`` — one uncompressed ``.npz`` per shard holding the
+  local CSR over that shard's *owned* vertices.  Each owned vertex
+  keeps its **full** global adjacency in global CSR arc order (this is
+  what makes per-vertex float accumulations bit-identical to the
+  in-core kernels); targets are local ids over ``owned ++ halo``.
+  Ghost (halo) vertices are the non-owned arc targets, id-ascending.
+* ``edges.npz`` — the canonical edge stream ``(u, v[, w])`` indexed by
+  global edge id, exactly ``Graph.edge_endpoints()``/``edge_weights()``.
+  The chunked modularity/contract kernels replay it in edge-id order,
+  which reproduces the in-core ``np.add.at``/``np.bincount``
+  accumulation order bit for bit.
+* ``manifest.json`` — schema version, global sizes, the exact total
+  edge weight (hex float), per-shard byte/degree/halo/boundary stats
+  and CRC-32 checksums of every ``.npz`` member.
+
+Members of the uncompressed ``.npz`` archives are *memory-mapped* (the
+zip directory gives each member's data offset; ``np.memmap`` attaches
+to it in place), so opening a shard costs pages, not copies —
+``np.load`` alone would read ``.npz`` members eagerly.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import struct
+import zipfile
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import GraphFormatError, GraphStructureError, PartitioningError, SnapError
+from repro.graph.csr import EDGE_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE, Graph
+
+FORMAT_NAME = "repro-shard-set"
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+EDGE_STREAM_NAME = "edges.npz"
+
+__all__ = [
+    "ShardSet",
+    "Shard",
+    "build_shard_set",
+    "open_shard_set",
+    "load_shard",
+    "is_shard_set_path",
+    "in_core_nbytes",
+    "MemberReader",
+    "mmap_npz",
+    "concat_ranges",
+]
+
+
+# ---------------------------------------------------------------------------
+# Small vectorized helpers
+# ---------------------------------------------------------------------------
+def concat_ranges(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(s, s + l) for s, l in zip(starts, lens)])``."""
+    starts = np.asarray(starts, dtype=np.int64)
+    lens = np.asarray(lens, dtype=np.int64)
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.repeat(starts, lens)
+    csum = np.cumsum(lens)
+    within = np.arange(total, dtype=np.int64) - np.repeat(csum - lens, lens)
+    return out + within
+
+
+def in_core_nbytes(graph: Graph) -> int:
+    """Resident bytes of the in-core CSR arrays (what sharding avoids).
+
+    Counts the arc→edge-id map at its materialized size without
+    forcing the lazy materialization (any edge-level kernel would).
+    """
+    total = graph.offsets.nbytes + graph.targets.nbytes
+    if graph._arc_edge_ids is not None:
+        total += graph._arc_edge_ids.nbytes
+    else:
+        total += graph.n_arcs * np.dtype(EDGE_DTYPE).itemsize
+    if graph.weights is not None:
+        total += graph.weights.nbytes
+    return int(total)
+
+
+# ---------------------------------------------------------------------------
+# Memory-mapped .npz access
+# ---------------------------------------------------------------------------
+def _read_npy_descr(raw, offset: int):
+    """Parse the ``.npy`` header at ``offset``; return (dtype, shape, size)."""
+    raw.seek(offset)
+    magic = raw.read(6)
+    if magic != b"\x93NUMPY":
+        raise GraphFormatError("shard npz member is not a .npy array")
+    ver = raw.read(2)
+    if ver[0] == 1:
+        (hlen,) = struct.unpack("<H", raw.read(2))
+        header_size = 10 + hlen
+    else:
+        (hlen,) = struct.unpack("<I", raw.read(4))
+        header_size = 12 + hlen
+    header = ast.literal_eval(raw.read(hlen).decode("latin1"))
+    if header.get("fortran_order"):
+        raise GraphFormatError("fortran-ordered shard members are not supported")
+    return np.dtype(header["descr"]), tuple(header["shape"]), header_size
+
+
+def npz_member_layout(path: Path) -> dict[str, tuple[np.dtype, tuple, int]]:
+    """Data layout of an *uncompressed* ``.npz``: name → (dtype, shape,
+    absolute byte offset of the raw array data)."""
+    path = Path(path)
+    out: dict[str, tuple[np.dtype, tuple, int]] = {}
+    with zipfile.ZipFile(path) as zf, open(path, "rb") as raw:
+        for info in zf.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise GraphFormatError(
+                    f"{path.name}:{info.filename} is compressed; shard sets "
+                    "require uncompressed .npz payloads (np.savez)"
+                )
+            raw.seek(info.header_offset)
+            local = raw.read(30)
+            if local[:4] != b"PK\x03\x04":
+                raise GraphFormatError(f"{path.name}: corrupt zip local header")
+            name_len, extra_len = struct.unpack("<HH", local[26:30])
+            data_offset = info.header_offset + 30 + name_len + extra_len
+            dtype, shape, header_size = _read_npy_descr(raw, data_offset)
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[:-4]
+            out[name] = (dtype, shape, data_offset + header_size)
+    return out
+
+
+def mmap_npz(path: Path) -> dict[str, np.ndarray]:
+    """Memory-map every member of an *uncompressed* ``.npz`` archive.
+
+    Returns ``{member_name: array}``; non-empty members are read-only
+    ``np.memmap`` views into the file, empty members plain arrays.
+    """
+    path = Path(path)
+    out: dict[str, np.ndarray] = {}
+    for name, (dtype, shape, data_start) in npz_member_layout(path).items():
+        if int(np.prod(shape)) == 0:
+            out[name] = np.empty(shape, dtype=dtype)
+        else:
+            out[name] = np.memmap(
+                path, dtype=dtype, mode="r", offset=data_start, shape=shape
+            )
+    return out
+
+
+class MemberReader:
+    """Chunked ``read()``-based access to one 1-D ``.npz`` member.
+
+    Unlike a memmap, slices come back as fresh arrays via ``read(2)``
+    syscalls, so iterating a huge member never inflates the caller's
+    resident set — the coordinator's streamed modularity/contraction
+    passes use this to stay under the memory budget.
+    """
+
+    def __init__(self, path: Path, member: str) -> None:
+        layout = npz_member_layout(Path(path))
+        if member not in layout:
+            raise GraphFormatError(f"{path}: no member {member!r}")
+        self.path = Path(path)
+        self.dtype, shape, self.data_start = layout[member]
+        if len(shape) != 1:
+            raise GraphFormatError(f"{path}:{member}: expected a 1-D member")
+        self.length = int(shape[0])
+
+    def read(self, start: int, stop: int) -> np.ndarray:
+        start = max(0, int(start))
+        stop = min(self.length, int(stop))
+        count = max(0, stop - start)
+        if count == 0:
+            return np.empty(0, dtype=self.dtype)
+        with open(self.path, "rb") as f:
+            f.seek(self.data_start + start * self.dtype.itemsize)
+            return np.fromfile(f, dtype=self.dtype, count=count)
+
+
+def _member_crcs(path: Path) -> dict[str, int]:
+    """CRC-32 of each decompressed ``.npz`` member payload."""
+    crcs: dict[str, int] = {}
+    with zipfile.ZipFile(path) as zf:
+        for info in zf.infolist():
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[:-4]
+            crcs[name] = zlib.crc32(zf.read(info.filename)) & 0xFFFFFFFF
+    return crcs
+
+
+# ---------------------------------------------------------------------------
+# Shard objects
+# ---------------------------------------------------------------------------
+@dataclass
+class Shard:
+    """One memory-mapped shard: local CSR over owned vertices + halo.
+
+    ``targets`` holds *local* ids: ``[0, n_owned)`` are owned vertices
+    (id-ascending), ``[n_owned, n_owned + n_halo)`` ghost vertices
+    (id-ascending).  ``local_to_global`` maps local → global ids.
+    """
+
+    index: int
+    path: Path
+    owned: np.ndarray       # global ids, ascending
+    halo: np.ndarray        # global ids, ascending
+    offsets: np.ndarray     # local CSR offsets, len n_owned + 1
+    targets: np.ndarray     # local target ids
+    weights: Optional[np.ndarray]
+    arc_edge_ids: Optional[np.ndarray]
+    local_to_global: np.ndarray
+
+    @property
+    def n_owned(self) -> int:
+        return int(self.owned.shape[0])
+
+    @property
+    def n_halo(self) -> int:
+        return int(self.halo.shape[0])
+
+    @property
+    def n_local(self) -> int:
+        return int(self.local_to_global.shape[0])
+
+    @property
+    def n_arcs(self) -> int:
+        return int(self.targets.shape[0])
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def boundary_arc_mask(self) -> np.ndarray:
+        """Boolean mask over local arcs whose target is a ghost vertex."""
+        return np.asarray(self.targets) >= self.n_owned
+
+
+def load_shard(path: Path | str, *, index: int = -1) -> Shard:
+    """Memory-map one ``shard_NNNN.npz`` payload."""
+    path = Path(path)
+    members = mmap_npz(path)
+    for required in ("owned", "halo", "offsets", "targets"):
+        if required not in members:
+            raise GraphFormatError(f"{path.name}: missing member {required!r}")
+    owned = members["owned"]
+    halo = members["halo"]
+    l2g = (
+        np.concatenate([np.asarray(owned), np.asarray(halo)])
+        if owned.shape[0] or halo.shape[0]
+        else np.empty(0, dtype=VERTEX_DTYPE)
+    )
+    return Shard(
+        index=index,
+        path=path,
+        owned=owned,
+        halo=halo,
+        offsets=members["offsets"],
+        targets=members["targets"],
+        weights=members.get("weights"),
+        arc_edge_ids=members.get("arc_edge_ids"),
+        local_to_global=l2g,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker-side shard cache: at most ONE mapped shard per worker process,
+# so a worker's resident set stays O(largest shard) no matter how many
+# shards it serves over the run.  Workers are otherwise stateless —
+# recovery re-runs a payload on any worker and gets identical bits.
+# ---------------------------------------------------------------------------
+_SHARD_CACHE: dict = {}
+
+
+def _cached_shard(path: str, index: int) -> Shard:
+    sh = _SHARD_CACHE.get(path)
+    if sh is None:
+        _SHARD_CACHE.clear()
+        sh = load_shard(path, index=index)
+        _SHARD_CACHE[path] = sh
+    return sh
+
+
+def clear_shard_cache() -> None:
+    """Drop the worker-side shard cache (releases its mapped pages).
+
+    The BSP driver calls this after each superstep so that, with the
+    in-process backends, coordinator merge transients never stack on
+    top of the last worker's still-mapped shard.
+    """
+    _SHARD_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# Shard set
+# ---------------------------------------------------------------------------
+def is_shard_set_path(path: Path | str) -> bool:
+    """True if ``path`` is a shard-set directory or its manifest file."""
+    p = Path(path)
+    if p.name == MANIFEST_NAME:
+        p = p.parent
+    if not (p / MANIFEST_NAME).is_file():
+        return False
+    try:
+        with open(p / MANIFEST_NAME, "rb") as f:
+            head = f.read(256).decode("utf-8", "replace")
+    except OSError:
+        return False
+    return FORMAT_NAME in head
+
+
+class ShardSet:
+    """An opened shard set: manifest + lazily memory-mapped shards."""
+
+    def __init__(self, root: Path, manifest: dict) -> None:
+        if manifest.get("format") != FORMAT_NAME:
+            raise GraphFormatError(f"{root}: not a {FORMAT_NAME} manifest")
+        if int(manifest.get("version", -1)) > FORMAT_VERSION:
+            raise GraphFormatError(
+                f"{root}: shard-set version {manifest.get('version')} is newer "
+                f"than supported version {FORMAT_VERSION}"
+            )
+        self.root = Path(root)
+        self.manifest = manifest
+        self._shards: dict[int, Shard] = {}
+        self._owner: Optional[np.ndarray] = None
+        self._local_index: Optional[np.ndarray] = None
+        self._edge_stream: Optional[tuple] = None
+
+    # -- manifest accessors -------------------------------------------------
+    @property
+    def k(self) -> int:
+        return int(self.manifest["k"])
+
+    @property
+    def n_vertices(self) -> int:
+        return int(self.manifest["n_vertices"])
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.manifest["n_edges"])
+
+    @property
+    def n_arcs(self) -> int:
+        return int(self.manifest["n_arcs"])
+
+    @property
+    def directed(self) -> bool:
+        return bool(self.manifest["directed"])
+
+    @property
+    def is_weighted(self) -> bool:
+        return bool(self.manifest["weighted"])
+
+    @property
+    def total_weight(self) -> float:
+        """``float(graph.edge_weights().sum())`` of the source graph, exact."""
+        return float.fromhex(self.manifest["total_weight_hex"])
+
+    @property
+    def total_bytes(self) -> int:
+        """On-disk payload bytes — what registry admission charges."""
+        return int(self.manifest["total_bytes"])
+
+    @property
+    def in_core_bytes(self) -> int:
+        return int(self.manifest["in_core_bytes"])
+
+    @property
+    def edge_cut(self) -> int:
+        return int(self.manifest["edge_cut"])
+
+    @property
+    def largest_shard_bytes(self) -> int:
+        return max((int(s["bytes"]) for s in self.manifest["shards"]), default=0)
+
+    def shard_meta(self, index: int) -> dict:
+        return self.manifest["shards"][index]
+
+    def shard_path(self, index: int) -> Path:
+        return self.root / self.manifest["shards"][index]["file"]
+
+    # -- shard access -------------------------------------------------------
+    def shard(self, index: int) -> Shard:
+        sh = self._shards.get(index)
+        if sh is None:
+            sh = load_shard(self.shard_path(index), index=index)
+            self._shards[index] = sh
+        return sh
+
+    def member_array(self, index: int, member: str) -> np.ndarray:
+        """One 1-D member of a shard, via ``read(2)`` — no mmap growth.
+
+        The coordinator's O(n) passes (vertex maps, degree gather,
+        per-superstep payload builds) use this instead of :meth:`shard`
+        so its resident set never accumulates mapped shard pages.
+        """
+        reader = MemberReader(self.shard_path(index), member)
+        return reader.read(0, reader.length)
+
+    def local_to_global_array(self, index: int) -> np.ndarray:
+        """Transient local→global id map (``owned ++ halo``) of a shard."""
+        owned = self.member_array(index, "owned")
+        halo = self.member_array(index, "halo")
+        if not (owned.shape[0] or halo.shape[0]):
+            return np.empty(0, dtype=owned.dtype)
+        return np.concatenate([owned, halo])
+
+    @property
+    def owner(self) -> np.ndarray:
+        """Owning shard per global vertex (int32, length n)."""
+        self._build_vertex_maps()
+        return self._owner
+
+    @property
+    def local_index(self) -> np.ndarray:
+        """Owner-local row index per global vertex (int64, length n)."""
+        self._build_vertex_maps()
+        return self._local_index
+
+    def _build_vertex_maps(self) -> None:
+        if self._owner is not None:
+            return
+        owner = np.full(self.n_vertices, -1, dtype=np.int32)
+        local = np.full(self.n_vertices, -1, dtype=np.int64)
+        for s in range(self.k):
+            owned = self.member_array(s, "owned")
+            owner[owned] = s
+            local[owned] = np.arange(owned.shape[0], dtype=np.int64)
+        if self.n_vertices and (owner < 0).any():
+            raise GraphFormatError(
+                f"{self.root}: shard ownership does not cover every vertex"
+            )
+        self._owner, self._local_index = owner, local
+
+    def edge_stream(self) -> tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Memory-mapped ``(u, v, w-or-None)`` global edge stream."""
+        if self._edge_stream is None:
+            members = mmap_npz(self.root / self.manifest["edge_stream"]["file"])
+            self._edge_stream = (members["u"], members["v"], members.get("w"))
+        return self._edge_stream
+
+    def edge_readers(
+        self,
+    ) -> tuple[MemberReader, MemberReader, Optional[MemberReader]]:
+        """Chunked (non-mmap) readers over the global edge stream."""
+        path = self.root / self.manifest["edge_stream"]["file"]
+        w = MemberReader(path, "w") if self.is_weighted else None
+        return MemberReader(path, "u"), MemberReader(path, "v"), w
+
+    # -- reconstruction -----------------------------------------------------
+    def stitch(self) -> Graph:
+        """Reassemble the original in-core CSR graph, bit-exactly."""
+        n = self.n_vertices
+        deg = np.zeros(n, dtype=EDGE_DTYPE)
+        for s in range(self.k):
+            sh = self.shard(s)
+            if sh.n_owned:
+                deg[np.asarray(sh.owned)] = sh.degrees()
+        offsets = np.zeros(n + 1, dtype=EDGE_DTYPE)
+        np.cumsum(deg, out=offsets[1:])
+        n_arcs = int(offsets[-1])
+        targets = np.empty(n_arcs, dtype=VERTEX_DTYPE)
+        weights = np.empty(n_arcs, dtype=WEIGHT_DTYPE) if self.is_weighted else None
+        has_eids = bool(self.manifest.get("has_arc_edge_ids", True))
+        eids = np.empty(n_arcs, dtype=EDGE_DTYPE) if has_eids else None
+        for s in range(self.k):
+            sh = self.shard(s)
+            if not sh.n_owned:
+                continue
+            pos = concat_ranges(offsets[np.asarray(sh.owned)], sh.degrees())
+            targets[pos] = sh.local_to_global[np.asarray(sh.targets)]
+            if weights is not None:
+                weights[pos] = sh.weights
+            if eids is not None:
+                eids[pos] = sh.arc_edge_ids
+        return Graph(
+            offsets,
+            targets,
+            directed=self.directed,
+            weights=weights,
+            arc_edge_ids=eids,
+            n_edges=self.n_edges,
+            validate=False,
+        )
+
+    # -- integrity ----------------------------------------------------------
+    def verify(self, *, deep: bool = False) -> list[str]:
+        """Checksum every payload; with ``deep`` also stitch + revalidate.
+
+        Returns a list of human-readable problems (empty = healthy).
+        """
+        problems: list[str] = []
+        entries = [
+            (self.manifest["edge_stream"]["file"],
+             self.manifest["edge_stream"]["crc32"]),
+        ] + [(s["file"], s["crc32"]) for s in self.manifest["shards"]]
+        for fname, want in entries:
+            path = self.root / fname
+            if not path.is_file():
+                problems.append(f"{fname}: missing payload file")
+                continue
+            try:
+                got = _member_crcs(path)
+            except (OSError, zipfile.BadZipFile) as exc:
+                problems.append(f"{fname}: unreadable ({exc})")
+                continue
+            for member, crc in want.items():
+                if member not in got:
+                    problems.append(f"{fname}:{member}: missing member")
+                elif got[member] != int(crc):
+                    problems.append(
+                        f"{fname}:{member}: crc {got[member]:08x} != "
+                        f"manifest {int(crc):08x}"
+                    )
+        if deep and not problems:
+            try:
+                g = self.stitch()
+                if g.n_vertices != self.n_vertices or g.n_edges != self.n_edges:
+                    problems.append(
+                        f"stitch: got n={g.n_vertices} m={g.n_edges}, manifest "
+                        f"says n={self.n_vertices} m={self.n_edges}"
+                    )
+            except (SnapError, ValueError, IndexError) as exc:
+                problems.append(f"stitch: failed ({exc})")
+        return problems
+
+    def describe(self) -> dict:
+        """Summary dict for CLI ``shard info`` and serve registry stats."""
+        shards = self.manifest["shards"]
+        return {
+            "path": str(self.root),
+            "k": self.k,
+            "n_vertices": self.n_vertices,
+            "n_edges": self.n_edges,
+            "directed": self.directed,
+            "weighted": self.is_weighted,
+            "edge_cut": self.edge_cut,
+            "total_bytes": self.total_bytes,
+            "in_core_bytes": self.in_core_bytes,
+            "largest_shard_bytes": self.largest_shard_bytes,
+            "total_halo": int(sum(s["n_halo"] for s in shards)),
+            "partitioner": self.manifest.get("partitioner", "unknown"),
+            "shards": [
+                {k: s[k] for k in (
+                    "index", "file", "bytes", "n_owned", "n_halo", "n_arcs",
+                    "n_boundary_arcs", "degree_max",
+                )}
+                for s in shards
+            ],
+        }
+
+
+def open_shard_set(path: Path | str) -> ShardSet:
+    """Open a shard set from its directory or ``manifest.json`` path."""
+    p = Path(path)
+    if p.name == MANIFEST_NAME:
+        p = p.parent
+    manifest_path = p / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise GraphFormatError(f"{path}: no {MANIFEST_NAME} found")
+    with open(manifest_path, "r", encoding="utf-8") as f:
+        manifest = json.load(f)
+    return ShardSet(p, manifest)
+
+
+# ---------------------------------------------------------------------------
+# Building
+# ---------------------------------------------------------------------------
+def _block_labels(graph: Graph, k: int) -> np.ndarray:
+    """Contiguous vertex ranges balanced by arc mass (cheap fallback)."""
+    n = graph.n_vertices
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    mass = graph.degrees() + 1  # +1 spreads isolated vertices too
+    csum = np.cumsum(mass)
+    labels = (csum - mass) * k // int(csum[-1])
+    return np.minimum(labels, k - 1).astype(np.int64)
+
+
+def _partition_labels(
+    graph: Graph, k: int, method: str, seed: int, ctx
+) -> tuple[np.ndarray, str]:
+    if k <= 1:
+        return np.zeros(graph.n_vertices, dtype=np.int64), "single"
+    if method == "block":
+        return _block_labels(graph, k), "block"
+    if method != "multilevel":
+        raise SnapError(f"unknown shard partition method {method!r}")
+    if graph.n_edges == 0 or graph.n_vertices < 2 * k:
+        return _block_labels(graph, k), "block"
+    from repro.partitioning.multilevel import multilevel_kway
+
+    try:
+        labels = multilevel_kway(
+            graph, k, rng=np.random.default_rng(seed), ctx=ctx
+        )
+    except PartitioningError:
+        return _block_labels(graph, k), "block"
+    return np.asarray(labels, dtype=np.int64), "multilevel"
+
+
+def build_shard_set(
+    graph: Graph,
+    out_dir: Path | str,
+    *,
+    k: Optional[int] = None,
+    mem_budget: Optional[int] = None,
+    labels: Optional[Sequence[int] | np.ndarray] = None,
+    method: str = "multilevel",
+    seed: int = 0,
+    ctx=None,
+) -> ShardSet:
+    """Partition ``graph`` into ``k`` shards and persist them under
+    ``out_dir``.
+
+    ``k`` defaults to :func:`repro.parallel.costmodel.recommend_shards`
+    applied to the graph's in-core bytes when ``mem_budget`` is given.
+    ``labels`` overrides the partitioner with an explicit assignment.
+    ``method`` selects ``"multilevel"`` (METIS-style, default) or
+    ``"block"`` (contiguous arc-balanced ranges — O(n), used for quick
+    builds at very large scale).
+    """
+    if graph.directed:
+        raise GraphStructureError("shard sets require an undirected graph")
+    n = graph.n_vertices
+    if labels is not None:
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape[0] != n:
+            raise GraphStructureError("labels must have one entry per vertex")
+        k = int(labels.max()) + 1 if labels.shape[0] else 1
+        partitioner = "given"
+    else:
+        if k is None:
+            if mem_budget is None:
+                raise SnapError("build_shard_set needs k, mem_budget or labels")
+            from repro.parallel.costmodel import recommend_shards
+
+            k = recommend_shards(in_core_nbytes(graph), mem_budget)
+        k = max(1, min(int(k), max(1, n)))
+        labels, partitioner = _partition_labels(graph, k, method, seed, ctx)
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    offsets_g, targets_g = graph.offsets, graph.targets
+    deg = graph.degrees()
+    weighted = graph.weights is not None
+    # Graph built by hand without an arc→edge map: stitch() then returns
+    # the same shape (arc_edge_ids regenerate lazily for directed use).
+    has_eids = graph._arc_edge_ids is not None if not graph.directed else True
+
+    shard_entries = []
+    total_bytes = 0
+    scratch_g2l = np.empty(n, dtype=np.int64)
+    for s in range(k):
+        owned = np.flatnonzero(labels == s).astype(np.int64)
+        lens = deg[owned]
+        arc_idx = concat_ranges(offsets_g[owned], lens)
+        tgt_g = targets_g[arc_idx]
+        ghost_mask = labels[tgt_g] != s if tgt_g.shape[0] else np.empty(0, bool)
+        halo = np.unique(tgt_g[ghost_mask])
+        n_owned = owned.shape[0]
+        scratch_g2l[owned] = np.arange(n_owned, dtype=np.int64)
+        scratch_g2l[halo] = n_owned + np.arange(halo.shape[0], dtype=np.int64)
+        targets_local = scratch_g2l[tgt_g]
+        offsets_local = np.zeros(n_owned + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets_local[1:])
+        members = {
+            "owned": owned,
+            "halo": halo,
+            "offsets": offsets_local,
+            "targets": targets_local,
+        }
+        if weighted:
+            members["weights"] = graph.weights[arc_idx]
+        if has_eids:
+            members["arc_edge_ids"] = graph.arc_edge_ids[arc_idx]
+        fname = f"shard_{s:04d}.npz"
+        fpath = out / fname
+        np.savez(fpath, **members)
+        nbytes = fpath.stat().st_size
+        total_bytes += nbytes
+        n_boundary = int(np.count_nonzero(targets_local >= n_owned))
+        shard_entries.append({
+            "index": s,
+            "file": fname,
+            "bytes": int(nbytes),
+            "n_owned": int(n_owned),
+            "n_halo": int(halo.shape[0]),
+            "n_arcs": int(targets_local.shape[0]),
+            "n_boundary_arcs": n_boundary,
+            "degree_min": int(lens.min()) if n_owned else 0,
+            "degree_max": int(lens.max()) if n_owned else 0,
+            "degree_mean": float(lens.mean()) if n_owned else 0.0,
+            "crc32": _member_crcs(fpath),
+        })
+
+    # Canonical edge stream (global edge-id order) for the chunked
+    # modularity / contraction kernels.
+    u, v = graph.edge_endpoints()
+    stream = {"u": np.asarray(u, dtype=np.int64), "v": np.asarray(v, dtype=np.int64)}
+    if weighted:
+        stream["w"] = graph.edge_weights()
+    stream_path = out / EDGE_STREAM_NAME
+    np.savez(stream_path, **stream)
+    stream_bytes = stream_path.stat().st_size
+    total_bytes += stream_bytes
+
+    total_weight = float(graph.edge_weights().sum())
+    cut = int(sum(e["n_boundary_arcs"] for e in shard_entries)) // 2
+    manifest = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "n_vertices": int(n),
+        "n_edges": int(graph.n_edges),
+        "n_arcs": int(graph.n_arcs),
+        "directed": bool(graph.directed),
+        "weighted": bool(weighted),
+        "has_arc_edge_ids": bool(has_eids),
+        "k": int(k),
+        "partitioner": partitioner,
+        "total_weight_hex": total_weight.hex(),
+        "edge_cut": cut,
+        "total_bytes": int(total_bytes),
+        "in_core_bytes": int(in_core_nbytes(graph)),
+        "edge_stream": {
+            "file": EDGE_STREAM_NAME,
+            "bytes": int(stream_bytes),
+            "crc32": _member_crcs(stream_path),
+        },
+        "shards": shard_entries,
+    }
+    with open(out / MANIFEST_NAME, "w", encoding="utf-8") as f:
+        json.dump(manifest, f, indent=1, sort_keys=True)
+        f.write("\n")
+    return ShardSet(out, manifest)

@@ -1,0 +1,438 @@
+"""Out-of-core shard sets: round-trip, parity, recovery, admission.
+
+The contract under test (DESIGN §12): a graph partitioned into
+memory-mapped shards and run shard-at-a-time under the BSP superstep
+driver produces results **bit-identical** to the in-core kernels — on
+every backend, through worker crashes, and under a memory budget the
+in-core path cannot meet.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main as cli_main
+from repro.centrality.closeness import closeness_centrality
+from repro.community.modularity import modularity
+from repro.community.pla import pla
+from repro.datasets.karate import karate_club
+from repro.errors import GraphStructureError, MemoryBudgetExceeded
+from repro.generators.rmat import rmat
+from repro.graph import from_edge_array
+from repro.kernels.bfs import msbfs
+from repro.kernels.connected import connected_components
+from repro.parallel import ChaosPlan, Fault, FaultPolicy, ParallelContext
+from repro.parallel.costmodel import CostModel, recommend_shards
+from repro.sharded import (
+    BSPDriver,
+    MemoryBudget,
+    build_shard_set,
+    in_core_nbytes,
+    is_shard_set_path,
+    load_shard,
+    open_shard_set,
+    sharded_closeness,
+    sharded_connected_components,
+    sharded_modularity,
+    sharded_msbfs,
+    sharded_pla,
+)
+
+
+@pytest.fixture(scope="module")
+def karate():
+    return karate_club()
+
+
+@pytest.fixture(scope="module")
+def rmat10():
+    return rmat(10, 8.0, rng=np.random.default_rng(7))
+
+
+def _weighted_messy():
+    """Weighted graph with self-loops, duplicates and isolated vertices."""
+    rng = np.random.default_rng(3)
+    n = 60
+    u = rng.integers(0, n, size=140)
+    v = rng.integers(0, n, size=140)
+    w = rng.integers(1, 6, size=140).astype(np.float64)
+    return from_edge_array(n + 5, u, v, weights=w, directed=False,
+                           dedupe=True, drop_self_loops=False)
+
+
+# ---------------------------------------------------------------------------
+# Round-trip: build -> write -> mmap-load -> stitch, bit-exact
+# ---------------------------------------------------------------------------
+class TestRoundTrip:
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_stitch_bit_exact(self, karate, tmp_path, k):
+        ss = build_shard_set(karate, tmp_path / f"k{k}", k=k)
+        g = ss.stitch()
+        assert g.offsets.tobytes() == karate.offsets.tobytes()
+        assert g.targets.tobytes() == karate.targets.tobytes()
+        assert g.n_edges == karate.n_edges
+        assert ss.verify(deep=True) == []
+
+    def test_shards_are_memory_mapped(self, karate, tmp_path):
+        ss = build_shard_set(karate, tmp_path / "s", k=3)
+        sh = ss.shard(0)
+        # The CSR payload must come off disk as a mapping, not a copy.
+        assert isinstance(sh.offsets, np.memmap)
+        assert isinstance(sh.targets, np.memmap)
+        assert sh.n_owned + ss.shard(1).n_owned + ss.shard(2).n_owned == 34
+
+    def test_weighted_self_loops_isolated(self, tmp_path):
+        g = _weighted_messy()
+        ss = build_shard_set(g, tmp_path / "w", k=4)
+        st_g = ss.stitch()
+        assert st_g.offsets.tobytes() == g.offsets.tobytes()
+        assert st_g.targets.tobytes() == g.targets.tobytes()
+        assert st_g.weights.tobytes() == g.weights.tobytes()
+        assert float(ss.total_weight) == float(g.edge_weights().sum())
+
+    def test_directed_refused(self, tmp_path):
+        g = from_edge_array(3, np.array([0, 1]), np.array([1, 2]),
+                            directed=True)
+        with pytest.raises(GraphStructureError):
+            build_shard_set(g, tmp_path / "d", k=2)
+
+    def test_load_single_shard(self, karate, tmp_path):
+        ss = build_shard_set(karate, tmp_path / "s", k=2)
+        sh = load_shard(ss.shard_path(0), index=0)
+        assert sh.n_owned == ss.shard(0).n_owned
+        assert np.array_equal(sh.owned, ss.shard(0).owned)
+
+    def test_is_shard_set_path(self, karate, tmp_path):
+        ss = build_shard_set(karate, tmp_path / "s", k=2)
+        assert is_shard_set_path(ss.root)
+        assert is_shard_set_path(ss.root / "manifest.json")
+        assert not is_shard_set_path(tmp_path)
+
+
+graph_edges = st.lists(
+    st.tuples(st.integers(0, 19), st.integers(0, 19),
+              st.integers(1, 5)),
+    min_size=0, max_size=60,
+)
+
+
+@given(graph_edges, st.booleans(), st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(edges, weighted, k):
+    """build -> write -> mmap-load -> stitch is the identity, bit-for-bit,
+    including isolated vertices, self-loops and weighted graphs."""
+    import tempfile
+
+    n = 20
+    u = np.asarray([e[0] for e in edges], dtype=np.int64)
+    v = np.asarray([e[1] for e in edges], dtype=np.int64)
+    w = (np.asarray([float(e[2]) for e in edges])
+         if weighted and edges else None)
+    g = from_edge_array(n, u, v, weights=w, directed=False,
+                        dedupe=True, drop_self_loops=False)
+    with tempfile.TemporaryDirectory(prefix="shard-prop-") as tmp:
+        ss = build_shard_set(g, os.path.join(tmp, "s"), k=k)
+        reopened = open_shard_set(ss.root)
+        stitched = reopened.stitch()
+        assert stitched.offsets.tobytes() == g.offsets.tobytes()
+        assert stitched.targets.tobytes() == g.targets.tobytes()
+        assert stitched.n_edges == g.n_edges
+        if g.weights is not None:
+            assert stitched.weights.tobytes() == g.weights.tobytes()
+        assert reopened.verify(deep=True) == []
+
+
+# ---------------------------------------------------------------------------
+# Verification / corruption detection
+# ---------------------------------------------------------------------------
+class TestVerify:
+    def test_corruption_detected(self, karate, tmp_path):
+        ss = build_shard_set(karate, tmp_path / "s", k=2)
+        path = ss.shard_path(1)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # flip one payload bit
+        path.write_bytes(bytes(blob))
+        fresh = open_shard_set(ss.root)
+        assert fresh.verify() != []
+
+    def test_missing_file_detected(self, karate, tmp_path):
+        ss = build_shard_set(karate, tmp_path / "s", k=2)
+        ss.shard_path(0).unlink()
+        assert open_shard_set(ss.root).verify() != []
+
+
+# ---------------------------------------------------------------------------
+# Parity with the in-core kernels (bit-identical)
+# ---------------------------------------------------------------------------
+class TestParity:
+    @pytest.fixture(scope="class", params=["karate", "rmat10", "weighted"])
+    def pair(self, request, karate, rmat10, tmp_path_factory):
+        g = {"karate": karate, "rmat10": rmat10,
+             "weighted": _weighted_messy()}[request.param]
+        root = tmp_path_factory.mktemp("parity") / request.param
+        return g, build_shard_set(g, root, k=3)
+
+    def test_msbfs(self, pair):
+        g, ss = pair
+        sources = [0, 1, g.n_vertices - 1]
+        ref = msbfs(g, sources)
+        got = sharded_msbfs(ss, sources)
+        assert np.array_equal(got.distances, ref.distances)
+        assert got.n_levels == ref.n_levels
+        assert got.distances.dtype == ref.distances.dtype
+
+    def test_connected_components(self, pair):
+        g, ss = pair
+        assert np.array_equal(
+            sharded_connected_components(ss), connected_components(g)
+        )
+
+    def test_closeness(self, pair):
+        g, ss = pair
+        if g.is_weighted:
+            with pytest.raises(GraphStructureError):
+                sharded_closeness(ss)
+            return
+        ref = closeness_centrality(g)
+        got = sharded_closeness(ss)
+        assert got.tobytes() == ref.tobytes()
+
+    def test_modularity(self, pair):
+        g, ss = pair
+        labels = np.arange(g.n_vertices, dtype=np.int64) % 4
+        assert sharded_modularity(ss, labels) == modularity(g, labels)
+
+    def test_pla(self, pair):
+        g, ss = pair
+        ref = pla(g, multilevel=True)
+        got = sharded_pla(ss)
+        assert got.modularity == ref.modularity
+        assert np.array_equal(got.labels, ref.labels)
+        assert got.extras == ref.extras
+
+    def test_chunked_streams_match(self, pair):
+        """Chunk size must not change a single bit of the result."""
+        g, ss = pair
+        labels = np.arange(g.n_vertices, dtype=np.int64) % 3
+        assert (sharded_modularity(ss, labels, chunk_edges=7)
+                == modularity(g, labels))
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_all_backends_bit_identical(self, karate, tmp_path, backend):
+        ss = build_shard_set(karate, tmp_path / "s", k=3)
+        with ParallelContext(2, backend=backend) as ctx:
+            got = sharded_msbfs(ss, [0, 5, 33], ctx=ctx)
+            labels = sharded_connected_components(ss, ctx=ctx)
+            res = sharded_pla(ss, ctx=ctx)
+        ref = msbfs(karate, [0, 5, 33])
+        assert np.array_equal(got.distances, ref.distances)
+        assert np.array_equal(labels, connected_components(karate))
+        ref_pla = pla(karate, multilevel=True)
+        assert res.modularity == ref_pla.modularity
+        assert np.array_equal(res.labels, ref_pla.labels)
+
+
+# ---------------------------------------------------------------------------
+# Recovery: a worker killed mid-superstep resumes from the last
+# completed superstep and still produces bit-identical results
+# ---------------------------------------------------------------------------
+class TestRecovery:
+    def test_worker_killed_mid_superstep(self, karate, tmp_path):
+        ss = build_shard_set(karate, tmp_path / "s", k=3)
+        ref = msbfs(karate, [0, 16, 33])
+        with ParallelContext(
+            2, backend="process",
+            fault_policy=FaultPolicy(),
+            chaos=ChaosPlan([Fault("exit", task_index=0, times=1)]),
+        ) as ctx:
+            got = sharded_msbfs(ss, [0, 16, 33], ctx=ctx)
+            assert ctx.pool.faults_injected == 1
+            assert ctx.pool.worker_crashes >= 1
+        assert np.array_equal(got.distances, ref.distances)
+
+    def test_pla_survives_repeated_crashes(self, karate, tmp_path):
+        ss = build_shard_set(karate, tmp_path / "s", k=2)
+        ref = pla(karate, multilevel=True)
+        with ParallelContext(
+            2, backend="process",
+            fault_policy=FaultPolicy(),
+            chaos=ChaosPlan([
+                Fault("exit", task_index=0, times=1),
+                Fault("raise", task_index=1, times=2),
+            ]),
+        ) as ctx:
+            got = sharded_pla(ss, ctx=ctx)
+            assert ctx.pool.faults_injected >= 2
+        assert got.modularity == ref.modularity
+        assert np.array_equal(got.labels, ref.labels)
+
+
+# ---------------------------------------------------------------------------
+# Memory budget + cost model
+# ---------------------------------------------------------------------------
+class TestBudget:
+    def test_admit_refuses_in_core(self, rmat10, tmp_path):
+        budget = MemoryBudget(in_core_nbytes(rmat10) // 4)
+        with pytest.raises(MemoryBudgetExceeded):
+            budget.admit(in_core_nbytes(rmat10), "in-core CSR")
+
+    def test_driver_refuses_oversized_shard(self, rmat10, tmp_path):
+        ss = build_shard_set(rmat10, tmp_path / "s", k=2)
+        with pytest.raises(MemoryBudgetExceeded):
+            BSPDriver(ss, mem_budget=MemoryBudget(1024))
+
+    def test_sharded_run_fits_where_in_core_refused(self, rmat10, tmp_path):
+        cap = in_core_nbytes(rmat10)  # < in-core + working set, > one shard
+        ss = build_shard_set(rmat10, tmp_path / "s", mem_budget=cap)
+        assert ss.k == recommend_shards(in_core_nbytes(rmat10), cap)
+        assert ss.largest_shard_bytes < cap
+        drv = BSPDriver(ss, mem_budget=MemoryBudget(cap))
+        got = sharded_msbfs(ss, [0], driver=drv)
+        assert np.array_equal(got.distances, msbfs(rmat10, [0]).distances)
+        assert drv.metrics()["n_supersteps"] > 0
+
+    def test_recommend_shards_properties(self):
+        assert recommend_shards(0, 100) == 1
+        assert recommend_shards(100, 10**9) == 1
+        k = recommend_shards(1 << 30, 64 << 20)
+        assert k > 1
+        # monotone: a tighter budget never wants fewer shards
+        assert recommend_shards(1 << 30, 32 << 20) >= k
+        with pytest.raises(ValueError):
+            recommend_shards(100, 0)
+
+    def test_page_in_cost_recorded(self):
+        cm = CostModel()
+        cm.page_in(10_000)  # 3 pages
+        assert cm.parallel_work == 3 * cm.machine.t_page_in
+        before = cm.span
+        cm.page_in(0)
+        assert cm.span == before
+
+    def test_superstep_metrics_ledger(self, karate, tmp_path):
+        ss = build_shard_set(karate, tmp_path / "s", k=2)
+        drv = BSPDriver(ss)
+        sharded_msbfs(ss, [0], driver=drv)
+        m = drv.metrics()
+        assert m["k_shards"] == 2
+        assert m["n_supersteps"] == len(m["supersteps"])
+        assert m["boundary_bytes_out"] > 0
+        assert m["boundary_bytes_in"] > 0
+        assert m["peak_rss_bytes"] > 0
+        phases = [s["phase"] for s in m["supersteps"]]
+        assert any("msbfs" in p for p in phases)
+
+
+# ---------------------------------------------------------------------------
+# CLI round-trip
+# ---------------------------------------------------------------------------
+class TestCli:
+    def test_build_info_verify_run(self, karate, tmp_path, capsys):
+        gpath = tmp_path / "karate.npz"
+        from repro.graph import io as graph_io
+
+        graph_io.save_npz(karate, gpath)
+        root = tmp_path / "ss"
+        assert cli_main(["shard", "build", str(gpath), "-o", str(root),
+                         "-k", "3"]) == 0
+        capsys.readouterr()  # drop build output
+        assert cli_main(["shard", "info", str(root), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["k"] == 3
+        assert cli_main(["shard", "verify", str(root), "--deep"]) == 0
+        metrics = tmp_path / "m.json"
+        assert cli_main(["shard", "run", str(root),
+                         "--algo", "msbfs,components,pla",
+                         "--sources", "0,5,33",
+                         "--mem-budget", "64M",
+                         "--metrics", str(metrics)]) == 0
+        out = json.loads(metrics.read_text())
+        ref = msbfs(karate, [0, 5, 33])
+        assert out["algos"]["msbfs"]["checksum"] == int(
+            ref.distances.astype(np.int64).sum()
+        )
+        assert out["algos"]["pla"]["modularity"] == pla(
+            karate, multilevel=True
+        ).modularity
+        assert out["metrics"]["n_supersteps"] > 0
+
+    def test_cli_verify_fails_on_corruption(self, karate, tmp_path):
+        ss = build_shard_set(karate, tmp_path / "s", k=2)
+        blob = bytearray(ss.shard_path(0).read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        ss.shard_path(0).write_bytes(bytes(blob))
+        assert cli_main(["shard", "verify", str(ss.root)]) == 1
+
+    def test_cli_build_mem_budget_sizing(self, rmat10, tmp_path):
+        gpath = tmp_path / "g.npz"
+        from repro.graph import io as graph_io
+
+        graph_io.save_npz(rmat10, gpath)
+        root = tmp_path / "ss"
+        cap = in_core_nbytes(rmat10)
+        assert cli_main(["shard", "build", str(gpath), "-o", str(root),
+                         "--mem-budget", str(cap)]) == 0
+        assert open_shard_set(root).k == recommend_shards(
+            in_core_nbytes(rmat10), cap
+        )
+
+
+# ---------------------------------------------------------------------------
+# Serve registry admission
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_load_shard_set_by_manifest_bytes(self, karate, tmp_path):
+        from repro.serve.registry import GraphRegistry
+
+        ss = build_shard_set(karate, tmp_path / "s", k=3)
+        with GraphRegistry() as reg:
+            entry = reg.load(str(ss.root), name="karate")
+            assert entry.shards == 3
+            assert entry.graph.offsets.tobytes() == karate.offsets.tobytes()
+            doc = entry.describe()
+            assert doc["shards"] == 3
+
+    def test_admission_refused_before_stitch(self, karate, tmp_path):
+        from repro.errors import AdmissionDenied
+        from repro.serve.registry import GraphRegistry
+
+        ss = build_shard_set(karate, tmp_path / "s", k=2)
+        with GraphRegistry(max_bytes=64) as reg:
+            with pytest.raises(AdmissionDenied, match="manifest total"):
+                reg.load(str(ss.root))
+            assert reg.names() == []
+
+
+# ---------------------------------------------------------------------------
+# Tier-1 smoke benchmark (scale-10 variant of the shard_full gate)
+# ---------------------------------------------------------------------------
+def test_shard_scale_smoke(tmp_path):
+    import sys
+
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
+                                    "benchmarks"))
+    from _common import write_result_json
+
+    g = rmat(10, 8.0, rng=np.random.default_rng(22))
+    ss = build_shard_set(g, tmp_path / "s", k=4)
+    drv = BSPDriver(ss, mem_budget=MemoryBudget(256 << 20))
+    got = sharded_msbfs(ss, [0, 1, 2, 3], driver=drv)
+    ref = msbfs(g, [0, 1, 2, 3])
+    assert np.array_equal(got.distances, ref.distances)
+    m = drv.metrics()
+    write_result_json("shard_scale_smoke", {
+        "scale": 10,
+        "edge_factor": 8.0,
+        "k_shards": ss.k,
+        "edge_cut": ss.edge_cut,
+        "bit_identical": True,
+        "metrics": m,
+    })
+    assert m["peak_rss_bytes"] > 0

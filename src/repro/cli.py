@@ -45,7 +45,13 @@ import numpy as np
 
 from repro import community, generators, metrics
 from repro.cli_options import ExecutionOptions, add_execution_flags
-from repro.errors import ConvergenceError, PartitioningError, SnapError
+from repro.durable import load_state, save_state, write_json_atomic
+from repro.errors import (
+    ConvergenceError,
+    CorruptCheckpoint,
+    PartitioningError,
+    SnapError,
+)
 from repro.graph import io as graph_io
 from repro.graph.csr import Graph
 from repro.graph.io import read_auto as _load
@@ -262,7 +268,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
               f"(pool utilization {util:.0%}) ==")
         print(res.flame(max_depth=args.max_depth))
     out = Path(args.output)
-    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    write_json_atomic(out, doc, indent=2, sort_keys=True)
     print(f"\nprofile written to {out}")
     return 0
 
@@ -302,16 +308,36 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         if args.save_events:
             write_events(args.save_events, events, n_vertices=n)
             print(f"events written to {args.save_events}")
+    ckpt_path = None
+    if args.checkpoint_dir:
+        ckpt_dir = Path(args.checkpoint_dir)
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+        ckpt_path = ckpt_dir / "stream.ckpt"
     tracer = Tracer() if args.profile else None
     t0 = time.perf_counter()
     with _make_ctx(args, tracer) as ctx, (
         use_tracer(tracer) if tracer else _nullcm()
     ):
-        engine = StreamEngine(n, analytics=analytics, k=args.k, ctx=ctx)
+        batches = list(group_batches(events))
+        start = 0
+        if ckpt_path is not None and ckpt_path.is_file():
+            # Crash resume: the checkpoint holds every *completed*
+            # batch (it is rewritten after each apply), so replaying it
+            # and continuing at the next input batch applies the
+            # interrupted batch exactly once.
+            engine = StreamEngine.load(ckpt_path, ctx=ctx)
+            _check_stream_resume(
+                engine, ckpt_path, n, analytics, args.k, batches
+            )
+            start = engine.n_batches
+            print(f"resumed {ckpt_path}: {start} batches replayed")
+        else:
+            engine = StreamEngine(n, analytics=analytics, k=args.k, ctx=ctx)
         print(f"stream: {origin} -> {n} vertices, analytics={analytics}")
-        rows = []
-        for batch in group_batches(events):
+        for batch in batches[start:]:
             r = engine.apply_batch(batch)
+            if ckpt_path is not None:
+                engine.save(ckpt_path)
             line = (
                 f"  t={r.t:<4d} events={r.n_events:<4d} "
                 f"applied={r.n_applied:<4d} edges={r.n_edges:<6d}"
@@ -324,7 +350,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 line += f" Q={r.modularity:.4f}"
             line += f" crc={r.checksum:08x}"
             print(line)
-            rows.append(r)
+        # Replayed batches included: a resumed run's output document is
+        # bit-identical to an uninterrupted one (no timing fields).
+        rows = engine.results
     dt = time.perf_counter() - t0
     print(
         f"stream done: {len(rows)} batches, {engine.n_edges} edges "
@@ -355,11 +383,45 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 for r in rows
             ],
         }
-        Path(args.output).write_text(
-            json.dumps(doc, indent=2, sort_keys=True) + "\n"
-        )
+        write_json_atomic(Path(args.output), doc, indent=2, sort_keys=True)
         print(f"results written to {args.output}")
     return 0
+
+
+def _check_stream_resume(engine, ckpt_path, n, analytics, k, batches) -> None:
+    """Refuse a stream checkpoint that does not match this run's input.
+
+    The applied-batch log must be an exact prefix of the input batches
+    (same events, same order) and the engine config must match the
+    flags — otherwise "resume" would silently splice two different
+    streams together.
+    """
+    if (
+        engine.n_vertices != n
+        or tuple(engine.analytics) != tuple(analytics)
+        or engine.k != k
+    ):
+        raise CorruptCheckpoint(
+            f"corrupt checkpoint {ckpt_path}: engine config mismatch "
+            f"(checkpoint n={engine.n_vertices} "
+            f"analytics={engine.analytics} k={engine.k}; run n={n} "
+            f"analytics={tuple(analytics)} k={k})"
+        )
+    logged = engine.applied_batches
+    if len(logged) > len(batches):
+        raise CorruptCheckpoint(
+            f"corrupt checkpoint {ckpt_path}: {len(logged)} applied "
+            f"batches but the input stream has only {len(batches)}"
+        )
+    for i, lb in enumerate(logged):
+        got = [(e.kind, e.u, e.v, e.t, e.weight) for e in lb]
+        want = [(e.kind, e.u, e.v, e.t, e.weight) for e in batches[i]]
+        if got != want:
+            raise CorruptCheckpoint(
+                f"corrupt checkpoint {ckpt_path}: applied batch {i} is "
+                "not a prefix of this input stream (different events) — "
+                "delete the checkpoint or rerun with the original input"
+            )
 
 
 def _cmd_check_stream(args: argparse.Namespace) -> int:
@@ -637,13 +699,60 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     budget = None
     if args.mem_budget is not None:
         budget = MemoryBudget(args.mem_budget, enforce_rss=args.enforce_rss)
+    algos = [a.strip() for a in args.algo.split(",") if a.strip()]
+    ckpt = None
+    run_path = None
+    completed: dict = {}
+    if args.checkpoint_every or args.resume or args.checkpoint_dir:
+        from repro.sharded.bsp import CHECKPOINT_DIRNAME, BSPCheckpointer
+
+        ckpt_dir = (
+            Path(args.checkpoint_dir)
+            if args.checkpoint_dir
+            else ss.root / CHECKPOINT_DIRNAME
+        )
+        ckpt = BSPCheckpointer(
+            ckpt_dir,
+            every=max(1, args.checkpoint_every),
+            resume=args.resume,
+        )
+        run_path = ckpt_dir / "run.ckpt"
+
+    # The run-level checkpoint records which algorithms already
+    # finished (with their result rows), so a resumed multi-algorithm
+    # run skips them and the in-progress one restarts from its last
+    # durable superstep.  The fingerprint refuses checkpoints from a
+    # different invocation (other algos, seed or source selection).
+    fingerprint = {
+        "algos": algos,
+        "seed": int(args.seed),
+        "sources": args.sources or "",
+        "n_sources": int(args.n_sources),
+        "n_vertices": ss.n_vertices,
+        "n_edges": ss.n_edges,
+    }
+    if ckpt is not None and args.resume and run_path.is_file():
+        run_state = load_state(run_path, kind="shard-run")
+        if run_state.get("fingerprint") != fingerprint:
+            raise CorruptCheckpoint(
+                f"corrupt checkpoint {run_path}: it records a different "
+                f"run ({run_state.get('fingerprint')!r} vs "
+                f"{fingerprint!r}); delete it or rerun the original "
+                "command line"
+            )
+        completed = run_state["completed"]
+        if completed:
+            print(f"resumed {run_path}: "
+                  f"{', '.join(completed)} already complete")
     ctx = _make_ctx(args)
-    driver = BSPDriver(ss, ctx=ctx, mem_budget=budget)
+    driver = BSPDriver(ss, ctx=ctx, mem_budget=budget, checkpointer=ckpt)
     out: dict = {"path": str(ss.root), "algos": {}}
     rng = np.random.default_rng(args.seed)
     t_all = time.perf_counter()
-    for algo in args.algo.split(","):
-        algo = algo.strip()
+    for algo in algos:
+        if algo in completed:
+            out["algos"][algo] = completed[algo]
+            continue
         t0 = time.perf_counter()
         if algo == "msbfs":
             if args.sources:
@@ -675,13 +784,24 @@ def _cmd_shard(args: argparse.Namespace) -> int:
             return 1
         info["seconds"] = time.perf_counter() - t0
         out["algos"][algo] = info
+        if ckpt is not None:
+            completed[algo] = info
+            save_state(
+                run_path,
+                {"fingerprint": fingerprint, "completed": completed},
+                kind="shard-run",
+            )
     out["seconds_total"] = time.perf_counter() - t_all
     out["metrics"] = driver.metrics()
     if args.metrics:
-        Path(args.metrics).write_text(json.dumps(out, indent=2) + "\n")
+        write_json_atomic(Path(args.metrics), out, indent=2)
         print(f"metrics written to {args.metrics}")
     else:
         print(json.dumps(out, indent=2))
+    # Every algorithm finished and the results are out the door; a
+    # stale run.ckpt would make a later --resume skip real work.
+    if run_path is not None and run_path.is_file():
+        run_path.unlink()
     return 0
 
 
@@ -704,8 +824,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         batch_runners=args.batch_runners,
         profile_path=args.profile,
+        state_dir=args.state_dir,
     )
     with ReproServer(config, verbose=args.verbose) as server:
+        # Accept connections immediately: during journal replay the
+        # data plane answers 503/recovering, /v1/health stays live.
+        http_thread = server.start_background()
+        summary = server.recover()
+        if any(summary.values()):
+            print(
+                "recovered state journal: "
+                f"{summary['loads']} loads, {summary['evicts']} evicts, "
+                f"{summary['ingests']} ingests, {summary['skipped']} skipped"
+            )
         for name, path in preload:
             entry = server.registry.load(path, name=name)
             print(f"resident: {name} = {entry.graph} ({entry.nbytes:,d} bytes)")
@@ -713,7 +844,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"repro serve listening on http://{host}:{port} "
               f"(backend={server.ctx.backend}, workers={server.ctx.n_workers})")
         try:
-            server.serve_forever()
+            http_thread.join()
         except KeyboardInterrupt:
             print("\nshutting down")
     return 0
@@ -853,6 +984,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the generated crawl events for replay")
     p.add_argument("-o", "--output", default=None,
                    help="write per-batch results as JSON")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="durably checkpoint after every applied batch "
+                        "and auto-resume from DIR after a crash "
+                        "(exactly-once batch application)")
     add_execution_flags(p)
     p.set_defaults(fn=_cmd_stream)
 
@@ -917,6 +1052,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max requests folded into one dispatch")
     p.add_argument("--batch-runners", type=int, default=2,
                    help="concurrent batch executor threads")
+    p.add_argument("--state-dir", default=None, metavar="DIR",
+                   help="journal load/evict/ingest operations under DIR "
+                        "and re-admit resident graphs after a restart "
+                        "(data-plane requests get 503 RECOVERING during "
+                        "replay)")
     p.add_argument("--verbose", action="store_true",
                    help="log one line per HTTP request")
     add_execution_flags(p)
@@ -969,6 +1109,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fail if measured peak RSS breaks the budget")
     sp.add_argument("--metrics", default=None, metavar="OUT.json",
                     help="write per-superstep metrics JSON here")
+    sp.add_argument("--checkpoint-every", type=int, default=0, metavar="K",
+                    help="durably checkpoint coordinator state every K "
+                         "supersteps (0 = off)")
+    sp.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                    help="checkpoint directory (default: "
+                         "<path>/.checkpoints)")
+    sp.add_argument("--resume", action="store_true",
+                    help="resume a killed run from its last durable "
+                         "checkpoint (bit-identical results)")
     add_execution_flags(sp)
     sp.set_defaults(fn=_cmd_shard)
     return parser

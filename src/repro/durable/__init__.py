@@ -1,0 +1,48 @@
+"""Durability layer: atomic writes, CRC-stamped envelopes, journals.
+
+Every durable artifact this codebase produces — shard manifests,
+checkpoint state, profile/metrics JSON, the serve registry journal —
+goes through one of three primitives so a crash at any instant leaves
+either the old bytes or the new bytes on disk, never a torn mixture:
+
+* :func:`atomic_write_bytes` / :func:`write_json_atomic` — write-temp →
+  fsync → ``os.replace`` (→ fsync directory).  Plain artifacts stay
+  human-readable JSON; only the write path changes.
+* :func:`save_state` / :func:`load_state` — a binary *envelope* (magic,
+  CRC-protected JSON header, CRC-32-stamped payload) around pickled
+  checkpoint state.  Truncation, bit flips and wrong-kind files all
+  surface as a structured :class:`~repro.errors.CorruptCheckpoint`
+  naming the offending path, never as a silent wrong answer.
+* :class:`~repro.durable.journal.Journal` — an append-only JSONL log
+  with a per-line CRC stamp; replay tolerates exactly one torn final
+  line (a crash mid-append) and rejects corruption anywhere else.
+"""
+
+from repro.durable.atomic import (
+    ENVELOPE_MAGIC,
+    atomic_write_bytes,
+    atomic_write_text,
+    check_envelope,
+    load_state,
+    pack_envelope,
+    save_state,
+    unpack_envelope,
+    verify_envelope,
+    write_json_atomic,
+)
+from repro.durable.journal import Journal, replay_journal
+
+__all__ = [
+    "ENVELOPE_MAGIC",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "check_envelope",
+    "load_state",
+    "pack_envelope",
+    "save_state",
+    "unpack_envelope",
+    "verify_envelope",
+    "write_json_atomic",
+    "Journal",
+    "replay_journal",
+]

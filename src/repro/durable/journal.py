@@ -1,0 +1,115 @@
+"""Append-only CRC-stamped JSONL journal for operation replay.
+
+Each record is one line: ``<crc32 as 8 hex chars> <canonical JSON>``.
+Appends are flushed and fsynced before returning, so an acknowledged
+operation survives a crash.  Replay walks the file front to back:
+
+* a torn **final** line (crash mid-append) is tolerated and dropped —
+  the operation was never acknowledged, so dropping it preserves
+  exactly-once semantics;
+* corruption anywhere **else** (CRC mismatch, unparseable JSON on a
+  non-final line) raises :class:`~repro.errors.CorruptCheckpoint`
+  naming the path and line — a damaged journal must not be silently
+  half-replayed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import CorruptCheckpoint
+
+__all__ = ["Journal", "replay_journal"]
+
+
+def _encode_line(record: dict) -> str:
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {body}\n"
+
+
+def _decode_line(line: str) -> Optional[dict]:
+    """Parse one journal line; ``None`` means torn/corrupt."""
+    if len(line) < 10 or line[8] != " ":
+        return None
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    body = line[9:].rstrip("\n")
+    if (zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF) != crc:
+        return None
+    try:
+        record = json.loads(body)
+    except json.JSONDecodeError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def replay_journal(path: Union[str, Path]) -> list[dict]:
+    """Read every acknowledged record from a journal file."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        lines = f.readlines()
+    records: list[dict] = []
+    for i, line in enumerate(lines):
+        record = _decode_line(line)
+        if record is None:
+            last = i == len(lines) - 1
+            if last and (not line.endswith("\n") or _is_prefix_torn(line)):
+                break  # torn tail from a crash mid-append: drop it
+            raise CorruptCheckpoint(
+                f"corrupt journal {path}: line {i + 1} fails CRC/parse"
+            )
+        records.append(record)
+    return records
+
+
+def _is_prefix_torn(line: str) -> bool:
+    """A newline-terminated final line that still fails its CRC is
+    treated as torn only if it could be a prefix of a valid record —
+    i.e. its body is truncated JSON rather than flipped bytes."""
+    if len(line) < 10 or line[8] != " ":
+        return True  # header itself incomplete
+    body = line[9:].rstrip("\n")
+    try:
+        json.loads(body)
+    except json.JSONDecodeError:
+        return True  # truncated body: torn append
+    return False  # parseable body failing CRC: real corruption
+
+
+class Journal:
+    """Durable append-only journal bound to one file."""
+
+    def __init__(self, path: Union[str, Path], *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = bool(fsync)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._f = open(self.path, "a", encoding="utf-8")
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (flushed + fsynced)."""
+        self._f.write(_encode_line(record))
+        self._f.flush()
+        if self.fsync:
+            os.fsync(self._f.fileno())
+
+    def replay(self) -> list[dict]:
+        return replay_journal(self.path)
+
+    def close(self) -> None:
+        if not self._f.closed:
+            self._f.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

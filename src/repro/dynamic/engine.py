@@ -61,6 +61,9 @@ __all__ = [
 
 ANALYTICS = ("components", "stats", "degree", "closeness", "community")
 
+#: Envelope ``kind`` for durable stream checkpoints (DESIGN §13).
+STREAM_CHECKPOINT_KIND = "stream-checkpoint"
+
 
 def top_k(scores: np.ndarray, k: int) -> list[tuple[int, float]]:
     """Top-``k`` (vertex, score) pairs, ties broken by smaller id."""
@@ -156,6 +159,11 @@ class StreamEngine:
     @property
     def results(self) -> list[BatchResult]:
         return list(self._results)
+
+    @property
+    def applied_batches(self) -> list[list[EdgeEvent]]:
+        """The applied-batch log (read-only copy of the outer list)."""
+        return list(self._applied_batches)
 
     def snapshot(self) -> Graph:
         """Materialize the current edge set as a canonical CSR graph."""
@@ -386,6 +394,32 @@ class StreamEngine:
                 ]
             )
         return engine
+
+    def save(self, path) -> None:
+        """Durably persist :meth:`checkpoint` (atomic, CRC envelope).
+
+        Written after every applied batch by ``repro stream
+        --checkpoint-dir``: a crash *during* a batch leaves the previous
+        envelope intact, so resume re-applies exactly that batch —
+        exactly-once application without a write-ahead log.
+        """
+        from repro.durable import save_state
+
+        save_state(path, self.checkpoint(), kind=STREAM_CHECKPOINT_KIND)
+
+    @classmethod
+    def load(
+        cls, path, *, ctx: Optional[ParallelContext] = None
+    ) -> "StreamEngine":
+        """Load a :meth:`save` file and replay it into a live engine.
+
+        Integrity failures (torn write, bit flip, truncation) raise
+        :class:`~repro.errors.CorruptCheckpoint` before any replay.
+        """
+        from repro.durable import load_state
+
+        state = load_state(path, kind=STREAM_CHECKPOINT_KIND)
+        return cls.restore(state, ctx=ctx)
 
     @classmethod
     def from_graph(cls, graph: Graph, **kwargs: Any) -> "StreamEngine":

@@ -120,6 +120,18 @@ class MemoryBudgetExceeded(SnapError):
     """
 
 
+class CorruptCheckpoint(SnapError):
+    """A durable artifact failed integrity validation on read.
+
+    Raised by :mod:`repro.durable` when an envelope or journal shows a
+    torn write, truncation, CRC mismatch or bad magic — and by resume
+    paths when a structurally valid checkpoint does not match the run
+    it is asked to resume (different inputs, parameters or shard set).
+    Crash recovery must fail loudly on damaged state, never continue
+    silently from garbage.
+    """
+
+
 class ServeError(SnapError):
     """Base class for graph-service (``repro serve``) failures.
 
@@ -152,6 +164,17 @@ class AdmissionDenied(ServeError):
     """
 
     code = "admission_denied"
+
+
+class ServiceRecovering(ServeError):
+    """The daemon is replaying its state journal after a restart.
+
+    Data-plane requests receive this (HTTP 503) until replay finishes;
+    clients should retry.  ``/v1/health`` stays available and reports
+    the ``recovering`` flag.
+    """
+
+    code = "recovering"
 
 
 class DeadlineExpired(ServeError):

@@ -74,11 +74,11 @@ class RunResult:
         }
 
     def save(self, path: Union[str, Path]) -> Path:
-        """Persist :meth:`to_dict` as a JSON document."""
-        import json
+        """Persist :meth:`to_dict` as a JSON document (atomic replace)."""
+        from repro.durable import write_json_atomic
 
         path = Path(path)
-        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        write_json_atomic(path, self.to_dict(), indent=2, sort_keys=True)
         return path
 
 

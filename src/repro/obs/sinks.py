@@ -34,11 +34,13 @@ def span_tree(root: Span) -> dict:
 
 def write_json(root: Span, path: Union[str, Path], *, extra: dict = None) -> Path:
     """Write a span tree (plus optional sibling metadata) as one JSON doc."""
+    from repro.durable import write_json_atomic
+
     payload = {"trace": span_tree(root)}
     if extra:
         payload.update(extra)
     path = Path(path)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    write_json_atomic(path, payload, indent=2, sort_keys=True)
     return path
 
 

@@ -42,7 +42,14 @@ from typing import Optional, Sequence
 
 from repro.errors import ShmAttachError, TransientWorkerError, WorkerCrashError
 
-__all__ = ["FAULT_KINDS", "Fault", "ChaosPlan", "ChaosMonkey"]
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "ChaosPlan",
+    "ChaosMonkey",
+    "run_coordinator_killed",
+    "files_appeared",
+]
 
 FAULT_KINDS = ("raise", "hang", "exit", "shm")
 
@@ -151,6 +158,90 @@ class ChaosMonkey:
         return Fault(
             kind, task_index=task_index, hang_seconds=self.hang_seconds
         )
+
+
+# ---------------------------------------------------------------------------
+# Process-level chaos: killing the *coordinator*.
+#
+# The in-process fault kinds above exercise worker death; the durability
+# layer (DESIGN §13) claims something stronger — that the coordinator
+# itself can die at any instant and a restart resumes bit-identically
+# from its last durable checkpoint.  That claim can only be tested by
+# actually SIGKILLing a real coordinator process, so the driver below
+# spawns one as a subprocess, polls an observable trigger (typically:
+# checkpoint files appearing on disk), and delivers an un-catchable
+# SIGKILL the moment it fires.
+# ---------------------------------------------------------------------------
+def files_appeared(directory, pattern: str = "*", count: int = 1):
+    """Trigger predicate: ``pattern``-matching files under ``directory``.
+
+    Returns a zero-argument callable for
+    :func:`run_coordinator_killed` that fires once at least ``count``
+    matching files exist — the natural "the victim has made durable
+    progress" signal for checkpoint-directory layouts.
+    """
+    from pathlib import Path
+
+    root = Path(directory)
+
+    def _trigger() -> bool:
+        return root.is_dir() and len(list(root.glob(pattern))) >= count
+
+    return _trigger
+
+
+def run_coordinator_killed(
+    argv: Sequence[str],
+    trigger,
+    *,
+    timeout: float = 120.0,
+    poll_interval: float = 0.02,
+    env: Optional[dict] = None,
+    cwd: Optional[str] = None,
+) -> dict:
+    """Spawn ``argv`` and SIGKILL it when ``trigger()`` first returns True.
+
+    Returns ``{"outcome": "killed"}`` when the kill landed, or
+    ``{"outcome": "exited", "returncode": rc}`` when the process
+    finished before the trigger fired (the race the caller must treat
+    as "work too fast to interrupt", not a failure).  Raises
+    ``TimeoutError`` if neither happens within ``timeout`` seconds.
+
+    SIGKILL (not SIGTERM) on purpose: the durability contract is about
+    un-handleable death — no atexit hooks, no flush-on-signal.  Output
+    is discarded; the caller asserts on the durable artifacts the
+    victim left behind.
+    """
+    import signal
+    import subprocess
+
+    proc = subprocess.Popen(
+        list(argv),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        cwd=cwd,
+    )
+    deadline = time.monotonic() + timeout
+    try:
+        while True:
+            rc = proc.poll()
+            if rc is not None:
+                return {"outcome": "exited", "returncode": rc}
+            if trigger():
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=30.0)
+                return {"outcome": "killed"}
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"coordinator {argv[0]!r} neither exited nor tripped "
+                    f"the kill trigger within {timeout}s"
+                )
+            time.sleep(poll_interval)
+    finally:
+        if proc.poll() is None:  # never leak the victim
+            proc.kill()
+            proc.wait(timeout=30.0)
 
 
 # ---------------------------------------------------------------------------

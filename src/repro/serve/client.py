@@ -29,6 +29,7 @@ from repro.errors import (
     GraphNotResident,
     ProtocolError,
     ServeError,
+    ServiceRecovering,
 )
 
 __all__ = ["ServeClient"]
@@ -38,6 +39,7 @@ _ERROR_TYPES = {
     "graph_not_resident": GraphNotResident,
     "admission_denied": AdmissionDenied,
     "deadline_expired": DeadlineExpired,
+    "recovering": ServiceRecovering,
     "serve_error": ServeError,
 }
 

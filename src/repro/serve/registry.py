@@ -110,6 +110,13 @@ class GraphRegistry:
         self.loads = 0
         self.load_hits = 0
         self.evictions = 0
+        # Optional durability journal (repro.durable.journal.Journal):
+        # when attached, cold path-loads and explicit evictions are
+        # recorded so a restarted daemon can re-admit its residents.
+        # LRU evictions and ingest-driven `replace` swaps are NOT
+        # journaled — replaying the explicit operations reproduces them
+        # deterministically.
+        self.journal = None
 
     # ------------------------------------------------------------------
     # Admission
@@ -228,9 +235,16 @@ class GraphRegistry:
         from repro.sharded import is_shard_set_path
 
         if is_shard_set_path(path):
-            return self._load_shard_set(path, name=name)
-        graph = read_auto(path, directed=directed)  # outside the lock: slow
-        return self.add(name, graph, source=str(path))
+            entry = self._load_shard_set(path, name=name)
+        else:
+            graph = read_auto(path, directed=directed)  # off-lock: slow
+            entry = self.add(name, graph, source=str(path))
+        if self.journal is not None:
+            self.journal.append({
+                "op": "load", "path": str(path), "name": name,
+                "directed": bool(directed),
+            })
+        return entry
 
     def _load_shard_set(self, path: str, *, name: str) -> ResidentGraph:
         """Stitch a shard set into residency (manifest-first admission)."""
@@ -305,6 +319,8 @@ class GraphRegistry:
                     f"graph {name!r} is pinned by an in-flight batch"
                 )
             self._evict_entry(entry)
+            if self.journal is not None:
+                self.journal.append({"op": "evict", "name": name})
             return True
 
     def names(self) -> list[str]:

@@ -53,6 +53,8 @@ from repro.errors import (
     GraphNotResident,
     ProtocolError,
     ServeError,
+    ServiceRecovering,
+    SnapError,
 )
 from repro.serve import protocol
 from repro.serve.coalescer import Coalescer
@@ -64,9 +66,13 @@ _STATUS = {
     "bad_request": 400,
     "graph_not_resident": 404,
     "deadline_expired": 408,
+    "recovering": 503,
     "admission_denied": 507,
     "serve_error": 500,
 }
+
+#: Journal filename under ``--state-dir``.
+STATE_JOURNAL_NAME = "registry.journal"
 
 #: Cap on unfetched async tickets; oldest resolved ones are dropped.
 MAX_TICKETS = 1024
@@ -92,6 +98,7 @@ class ServeConfig:
         max_batch: int = 64,
         batch_runners: int = 2,
         profile_path: Optional[str] = None,
+        state_dir: Optional[str] = None,
     ) -> None:
         from repro.cli_options import ExecutionOptions
 
@@ -103,6 +110,7 @@ class ServeConfig:
         self.max_batch = int(max_batch)
         self.batch_runners = int(batch_runners)
         self.profile_path = profile_path
+        self.state_dir = state_dir
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -149,12 +157,17 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         try:
             if self.path == "/v1/health":
+                # Health stays answerable during journal replay so
+                # orchestrators can watch the daemon come back.
                 self._send(200, {
                     "ok": True,
+                    "recovering": self.app.recovering,
                     "resident_graphs": len(self.app.registry.names()),
                     "uptime_s": round(time.monotonic() - self.app.t0, 3),
                 })
-            elif self.path == "/v1/algorithms":
+                return
+            self.app.check_ready()
+            if self.path == "/v1/algorithms":
                 self._send(200, protocol.request_schema())
             elif self.path == "/v1/graphs":
                 self._send(200, self.app.registry.stats())
@@ -171,6 +184,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         try:
+            self.app.check_ready()
             doc = self._body()
             if self.path == "/v1/load":
                 self._load(doc)
@@ -218,6 +232,17 @@ class _Handler(BaseHTTPRequestHandler):
                 analytics=req["analytics"],
                 k=req["k"],
             )
+            # Journaled only after the whole transaction applied: a
+            # crash mid-ingest never acknowledges, never journals, and
+            # the client's retry applies exactly once.
+            if self.app.journal is not None:
+                self.app.journal.append({
+                    "op": "ingest",
+                    "graph": req["graph"],
+                    "events": req["events"],
+                    "analytics": req["analytics"],
+                    "k": req["k"],
+                })
         self._send(200, summary)
 
     def _submit(self, doc: dict) -> None:
@@ -287,6 +312,18 @@ class ReproServer:
         self.engines: dict = {}
         self.ingest_lock = threading.Lock()
         self._ticket_seq = 0
+        # Durable daemon state (DESIGN §13): with a state_dir the
+        # registry journals loads/evicts and _ingest journals ingests.
+        # Until recover() replays the journal, data-plane requests get
+        # 503 RECOVERING (check_ready); /v1/health keeps answering.
+        self.journal = None
+        self._journal_path: Optional[Path] = None
+        self.recovering = False
+        if config.state_dir is not None:
+            state_dir = Path(config.state_dir)
+            state_dir.mkdir(parents=True, exist_ok=True)
+            self._journal_path = state_dir / STATE_JOURNAL_NAME
+            self.recovering = True
         self.httpd = ThreadingHTTPServer(
             (config.host, config.port), _Handler
         )
@@ -294,6 +331,71 @@ class ReproServer:
         self.httpd.app = self  # type: ignore[attr-defined]
         self.httpd.verbose = verbose  # type: ignore[attr-defined]
         self._closed = False
+        self._serving = False
+
+    # -- durable state -------------------------------------------------
+    def check_ready(self) -> None:
+        """Raise :class:`ServiceRecovering` while the journal replays."""
+        if self.recovering:
+            raise ServiceRecovering(
+                "daemon is replaying its state journal; retry shortly"
+            )
+
+    def recover(self) -> dict:
+        """Replay the state journal and attach it for live journaling.
+
+        Must be called once (before or concurrently with serving) when
+        the config has a ``state_dir``; without one it is a no-op.
+        Re-admits journaled graph loads, re-applies explicit evictions
+        and replays ingest transactions in order — the registry ends in
+        the same resident state the crashed daemon acknowledged.
+        Operations whose inputs disappeared (a source file deleted
+        since) are skipped and counted, not fatal.  Replayed operations
+        are not re-journaled: they are already in the journal, which
+        is appended to — not rewritten — afterwards.
+        """
+        summary = {"loads": 0, "evicts": 0, "ingests": 0, "skipped": 0}
+        if self._journal_path is None:
+            self.recovering = False
+            return summary
+        from repro.durable.journal import Journal, replay_journal
+        from repro.serve.ingest import ingest_events
+
+        try:
+            for rec in replay_journal(self._journal_path):
+                op = rec.get("op")
+                try:
+                    if op == "load":
+                        self.registry.load(
+                            rec["path"],
+                            name=rec.get("name"),
+                            directed=bool(rec.get("directed", False)),
+                        )
+                        summary["loads"] += 1
+                    elif op == "evict":
+                        self.registry.evict(rec["name"])
+                        summary["evicts"] += 1
+                    elif op == "ingest":
+                        with self.ingest_lock:
+                            ingest_events(
+                                self.registry,
+                                self.engines,
+                                rec["graph"],
+                                rec["events"],
+                                ctx=self.ctx,
+                                analytics=rec.get("analytics"),
+                                k=rec.get("k", 10),
+                            )
+                        summary["ingests"] += 1
+                    else:
+                        summary["skipped"] += 1
+                except (SnapError, OSError):
+                    summary["skipped"] += 1
+            self.journal = Journal(self._journal_path)
+            self.registry.journal = self.journal
+        finally:
+            self.recovering = False
+        return summary
 
     # -- profile collection -------------------------------------------
     def _collect_batch(self, span_doc: dict) -> None:
@@ -325,7 +427,11 @@ class ReproServer:
         return self.httpd.server_address[:2]
 
     def serve_forever(self) -> None:
-        self.httpd.serve_forever(poll_interval=0.1)
+        self._serving = True
+        try:
+            self.httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self._serving = False
 
     def start_background(self) -> threading.Thread:
         """Run the accept loop on a daemon thread (tests, embedding)."""
@@ -355,18 +461,30 @@ class ReproServer:
             "serve": self.stats(),
             "batches": spans,
         }
+        from repro.durable import write_json_atomic
+
         path = Path(self.config.profile_path)
-        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        write_json_atomic(path, doc, indent=2, sort_keys=True)
         return path
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
-        self.httpd.shutdown()
+        # shutdown() blocks on an event only serve_forever() sets; with
+        # no accept loop running (embedded use) it would wait forever.
+        if self._serving:
+            self.httpd.shutdown()
         self.httpd.server_close()
         self.coalescer.close()
         self.write_profile()
+        # Detach the journal before the registry teardown evicts every
+        # resident graph: shutdown evictions are not state changes the
+        # next boot should replay.
+        self.registry.journal = None
+        if self.journal is not None:
+            self.journal.close()
+            self.journal = None
         self.registry.close()
         self.ctx.close()
 

@@ -13,7 +13,13 @@ from repro.sharded.algorithms import (
     sharded_msbfs,
     sharded_pla,
 )
-from repro.sharded.bsp import BSPDriver, MemoryBudget, SuperstepStats
+from repro.sharded.bsp import (
+    CHECKPOINT_DIRNAME,
+    BSPCheckpointer,
+    BSPDriver,
+    MemoryBudget,
+    SuperstepStats,
+)
 from repro.sharded.shards import (
     Shard,
     ShardSet,
@@ -33,6 +39,8 @@ __all__ = [
     "is_shard_set_path",
     "in_core_nbytes",
     "BSPDriver",
+    "BSPCheckpointer",
+    "CHECKPOINT_DIRNAME",
     "MemoryBudget",
     "SuperstepStats",
     "sharded_msbfs",

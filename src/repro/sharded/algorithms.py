@@ -44,7 +44,7 @@ from repro.community.pla import (
     _vertex_strengths,
 )
 from repro.community.result import ClusteringResult
-from repro.errors import ClusteringError, GraphStructureError
+from repro.errors import ClusteringError, CorruptCheckpoint, GraphStructureError
 from repro.graph.builder import contract, from_edge_array
 from repro.graph.csr import VERTEX_DTYPE, Graph
 from repro.kernels.bfs import MSBFSResult, UNREACHED, source_batches
@@ -122,6 +122,30 @@ def _resolve_driver(
     return BSPDriver(shard_set, ctx=ctx, mem_budget=mem_budget)
 
 
+def _check_resume_match(drv: BSPDriver, tag: str, st: dict, expected: dict) -> None:
+    """Refuse to resume from a checkpoint written for different inputs.
+
+    Every resumable algorithm stores its identifying parameters in the
+    checkpoint state; a mismatch (different sources, graph size,
+    ``max_passes``, …) means the checkpoint belongs to another run and
+    resuming from it would silently produce wrong-for-this-run output.
+    """
+    path = drv.checkpointer.path_for(tag)
+    for key, want in expected.items():
+        got = st.get(key)
+        same = (
+            np.array_equal(got, want)
+            if isinstance(want, np.ndarray)
+            else got == want
+        )
+        if not same:
+            raise CorruptCheckpoint(
+                f"corrupt checkpoint {path}: parameter {key!r} mismatch "
+                f"(checkpoint {got!r} vs run {want!r}) — it was written "
+                "for a different run; delete it or rerun without --resume"
+            )
+
+
 # ---------------------------------------------------------------------------
 # msbfs
 # ---------------------------------------------------------------------------
@@ -195,6 +219,7 @@ def sharded_msbfs(
     driver: Optional[BSPDriver] = None,
     ctx=None,
     mem_budget: Optional[MemoryBudget] = None,
+    checkpoint_tag: str = "msbfs",
 ) -> MSBFSResult:
     """Level-synchronous multi-source BFS over a shard set.
 
@@ -202,6 +227,12 @@ def sharded_msbfs(
     ships each shard a snapshot of its local (owned + halo) distance
     columns.  ``result.distances`` is bit-identical to
     ``kernels.bfs.msbfs`` on the stitched graph.
+
+    With a resume-armed driver checkpointer, restarts from the last
+    durable level: per-level state (distance plane, frontier, lane map,
+    arc budget) is saved at the superstep boundary, and re-running the
+    level the crash interrupted is exact because payloads are a pure
+    function of that state.
     """
     ss = shard_set
     drv = _resolve_driver(ss, driver, ctx, mem_budget)
@@ -214,13 +245,25 @@ def sharded_msbfs(
     dist = np.full((k, n), UNREACHED, dtype=np.int32)
     if k == 0:
         return MSBFSResult(srcs, dist, 0)
-    dist_flat = dist.reshape(-1)
-    lanes = np.arange(k, dtype=np.int64)
-    dist[lanes, srcs] = 0
-    verts = srcs.copy()
-    level = 0
     degs_all = drv.degrees()
-    todo_arcs = int(k * ss.n_arcs - degs_all[srcs].sum())
+    tag = checkpoint_tag
+    st = drv.load_resume(tag)
+    if st is not None:
+        _check_resume_match(
+            drv, tag, st, {"n": n, "srcs": srcs, "max_depth": max_depth}
+        )
+        dist = st["dist"]
+        lanes = st["lanes"]
+        verts = st["verts"]
+        level = int(st["level"])
+        todo_arcs = int(st["todo_arcs"])
+    else:
+        lanes = np.arange(k, dtype=np.int64)
+        dist[lanes, srcs] = 0
+        verts = srcs.copy()
+        level = 0
+        todo_arcs = int(k * ss.n_arcs - degs_all[srcs].sum())
+    dist_flat = dist.reshape(-1)
     owner = ss.owner
     local_index = ss.local_index
     occupied = [
@@ -265,6 +308,12 @@ def sharded_msbfs(
         verts = cand - lanes * n
         todo_arcs -= int(degs_all.take(verts).sum())
         level += 1
+        drv.maybe_checkpoint(tag, {
+            "n": n, "srcs": srcs, "max_depth": max_depth,
+            "dist": dist, "verts": verts, "lanes": lanes,
+            "level": level, "todo_arcs": todo_arcs,
+        })
+    drv.clear_checkpoint(tag)
     return MSBFSResult(srcs, dist, level)
 
 
@@ -301,8 +350,26 @@ def sharded_closeness(
     src_list = list(sources)
     out = np.zeros(n, dtype=np.float64)
     batches = source_batches(src_list, batch_size, n)
-    for batch in batches:
-        dist = sharded_msbfs(ss, batch, driver=drv).distances
+    # Resume at batch granularity: the accumulated scores plus the next
+    # batch index are the whole between-batch state.  The in-flight
+    # batch's traversal checkpoints under its own per-batch tag.
+    tag = "closeness"
+    srcs_arr = np.asarray(src_list, dtype=np.int64)
+    start_batch = 0
+    st = drv.load_resume(tag)
+    if st is not None:
+        _check_resume_match(drv, tag, st, {
+            "n": n, "srcs": srcs_arr, "wf_improved": wf_improved,
+            "n_batches": len(batches),
+        })
+        out = st["out"]
+        start_batch = int(st["next_batch"])
+    for i, batch in enumerate(batches):
+        if i < start_batch:
+            continue
+        dist = sharded_msbfs(
+            ss, batch, driver=drv, checkpoint_tag=f"{tag}.msbfs{i}"
+        ).distances
         reached = dist >= 0
         r = reached.sum(axis=1).astype(np.int64)
         total = np.where(reached, dist, 0).sum(axis=1).astype(np.float64)
@@ -312,6 +379,14 @@ def sharded_closeness(
         if wf_improved and n > 1:
             cc[valid] *= (r[valid] - 1) / (n - 1)
         out[batch] = cc
+        # Forced: the inner traversal's own checkpoints leave the
+        # cadence counter freshly satisfied, but a completed batch is
+        # the boundary that lets a resume skip it entirely.
+        drv.maybe_checkpoint(tag, {
+            "n": n, "srcs": srcs_arr, "wf_improved": wf_improved,
+            "n_batches": len(batches), "out": out, "next_batch": i + 1,
+        }, force=True)
+    drv.clear_checkpoint(tag)
     return out
 
 
@@ -361,6 +436,12 @@ def sharded_connected_components(
         return label
     active = [s for s in range(ss.k) if ss.shard_meta(s)["n_owned"]]
     round_no = 0
+    tag = "components"
+    st = drv.load_resume(tag)
+    if st is not None:
+        _check_resume_match(drv, tag, st, {"n": n})
+        label = st["label"]
+        round_no = int(st["round_no"])
     while True:
         # The label snapshot is shared by reference across payloads —
         # it only advances between supersteps (see msbfs note).
@@ -385,6 +466,10 @@ def sharded_connected_components(
         if not changed:
             break
         round_no += 1
+        drv.maybe_checkpoint(tag, {
+            "n": n, "label": label, "round_no": round_no,
+        })
+    drv.clear_checkpoint(tag)
     return label
 
 
@@ -674,73 +759,118 @@ def sharded_pla(
         return ClusteringResult(np.arange(n, dtype=np.int64), 0.0, "pLA")
     drv = _resolve_driver(ss, driver, ctx, mem_budget)
 
-    labels_g = np.arange(n, dtype=np.int64)
+    # Checkpoints cover the two sharded (fine-graph) phases — the only
+    # O(m) ones.  State is a phase machine: ``level0`` sweeps, then the
+    # in-core contraction pyramid (cheap, re-done deterministically on
+    # resume), then ``refine`` sweeps on the uncoarsened labels.  A
+    # checkpoint is taken *after* the moved-count break check so a
+    # resumed run repeats exactly the sweeps the uninterrupted run
+    # would have executed (same ``n_sweeps``, same superstep names).
+    tag = "pla"
     level_maps: list[np.ndarray] = []
     n_sweeps = 0  # coarsening-phase sweeps, as in-core counts them
     sweep_label = 0  # superstep naming only (refinement sweeps included)
+    phase = "level0"
+    pass_start = 0
+    n_levels = 0
 
-    # Level 0: sharded sweeps + streamed guard on the fine graph.
-    strength_fine = _gather_strengths(drv)
-    q = sharded_modularity(ss, labels_g)
-    for _ in range(max_passes):
-        labels_g, q, moved = _sharded_sweep_once(
-            drv, labels_g, strength_fine, big_w, q, sweep_label
-        )
-        n_sweeps += 1
-        sweep_label += 1
-        if moved == 0:
-            break
-    n_clusters = int(np.unique(labels_g).shape[0])
-    if n_clusters != n:
-        g, vmap = sharded_contract(ss, labels_g)
-        level_maps.append(vmap)
-        labels_g = np.arange(g.n_vertices, dtype=np.int64)
-        # Levels >= 1: the coarse graph fits in core; continue with the
-        # exact in-core loop of _multilevel_pla.
-        if g.n_vertices > 1:
-            while True:
-                strength_v = _vertex_strengths(g)
-                src, tgt, w = _loopless_arcs(g)
-                q = modularity(g, labels_g)
-                for _ in range(max_passes):
-                    labels_g, q, moved = _sweep_once(
-                        g, labels_g, strength_v, big_w, q, src, tgt, w
-                    )
-                    n_sweeps += 1
-                    if moved == 0:
+    st = drv.load_resume(tag)
+    if st is not None:
+        _check_resume_match(drv, tag, st, {"n": n, "max_passes": max_passes})
+        strength_fine = st["strength_fine"]
+        q = float(st["q"])
+        sweep_label = int(st["sweep_label"])
+        n_sweeps = int(st["n_sweeps"])
+        phase = st["phase"]
+        pass_start = int(st["pass_no"])
+        if phase == "level0":
+            labels_g = st["labels"]
+        else:
+            labels = st["labels"]
+            n_levels = int(st["n_levels"])
+    else:
+        labels_g = np.arange(n, dtype=np.int64)
+        strength_fine = _gather_strengths(drv)
+        q = sharded_modularity(ss, labels_g)
+
+    if phase == "level0":
+        # Level 0: sharded sweeps + streamed guard on the fine graph.
+        for p in range(pass_start, max_passes):
+            labels_g, q, moved = _sharded_sweep_once(
+                drv, labels_g, strength_fine, big_w, q, sweep_label
+            )
+            n_sweeps += 1
+            sweep_label += 1
+            if moved == 0:
+                break
+            drv.maybe_checkpoint(tag, {
+                "n": n, "max_passes": max_passes, "phase": "level0",
+                "pass_no": p + 1, "labels": labels_g, "q": q,
+                "sweep_label": sweep_label, "n_sweeps": n_sweeps,
+                "strength_fine": strength_fine,
+            })
+        n_clusters = int(np.unique(labels_g).shape[0])
+        if n_clusters != n:
+            g, vmap = sharded_contract(ss, labels_g)
+            level_maps.append(vmap)
+            labels_g = np.arange(g.n_vertices, dtype=np.int64)
+            # Levels >= 1: the coarse graph fits in core; continue with
+            # the exact in-core loop of _multilevel_pla.
+            if g.n_vertices > 1:
+                while True:
+                    strength_v = _vertex_strengths(g)
+                    src, tgt, w = _loopless_arcs(g)
+                    q = modularity(g, labels_g)
+                    for _ in range(max_passes):
+                        labels_g, q, moved = _sweep_once(
+                            g, labels_g, strength_v, big_w, q, src, tgt, w
+                        )
+                        n_sweeps += 1
+                        if moved == 0:
+                            break
+                    n_clusters = int(np.unique(labels_g).shape[0])
+                    if n_clusters == g.n_vertices:
                         break
-                n_clusters = int(np.unique(labels_g).shape[0])
-                if n_clusters == g.n_vertices:
-                    break
-                g, vmap = contract(g, labels_g)
-                level_maps.append(vmap)
-                labels_g = np.arange(g.n_vertices, dtype=np.int64)
-                if g.n_vertices <= 1:
-                    break
+                    g, vmap = contract(g, labels_g)
+                    level_maps.append(vmap)
+                    labels_g = np.arange(g.n_vertices, dtype=np.int64)
+                    if g.n_vertices <= 1:
+                        break
 
-    labels = labels_g
-    for vmap in reversed(level_maps):
-        labels = labels[vmap]
-    # Uncoarsening refinement on the fine graph — sharded sweeps again
-    # (in-core counts only coarsening sweeps in extras, mirrored here).
-    labels = np.asarray(labels, dtype=np.int64).copy()
-    q = sharded_modularity(ss, labels)
-    for _ in range(max_passes):
+        labels = labels_g
+        for vmap in reversed(level_maps):
+            labels = labels[vmap]
+        # Uncoarsening refinement on the fine graph — sharded sweeps
+        # again (in-core counts only coarsening sweeps in extras,
+        # mirrored here).
+        labels = np.asarray(labels, dtype=np.int64).copy()
+        q = sharded_modularity(ss, labels)
+        n_levels = len(level_maps)
+        pass_start = 0
+
+    for p in range(pass_start, max_passes):
         labels, q, moved = _sharded_sweep_once(
             drv, labels, strength_fine, big_w, q, sweep_label
         )
         sweep_label += 1
         if moved == 0:
             break
+        drv.maybe_checkpoint(tag, {
+            "n": n, "max_passes": max_passes, "phase": "refine",
+            "pass_no": p + 1, "labels": labels, "q": q,
+            "sweep_label": sweep_label, "n_sweeps": n_sweeps,
+            "strength_fine": strength_fine, "n_levels": n_levels,
+        })
     labels = np.unique(labels, return_inverse=True)[1].astype(np.int64)
     q = sharded_modularity(ss, labels)
+    drv.clear_checkpoint(tag)
     return ClusteringResult(
         labels,
         q,
         "pLA",
         extras={
             "multilevel": True,
-            "n_levels": len(level_maps),
+            "n_levels": n_levels,
             "n_sweeps": n_sweeps,
         },
     )

@@ -26,15 +26,35 @@ from __future__ import annotations
 import resource
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import MemoryBudgetExceeded
+from repro.durable import load_state, save_state
+from repro.errors import CorruptCheckpoint, MemoryBudgetExceeded
 from repro.parallel.runtime import ParallelContext, ensure_context
 from repro.sharded.shards import ShardSet, clear_shard_cache
 
-__all__ = ["MemoryBudget", "SuperstepStats", "BSPDriver", "payload_nbytes"]
+__all__ = [
+    "MemoryBudget",
+    "SuperstepStats",
+    "BSPDriver",
+    "BSPCheckpointer",
+    "payload_nbytes",
+    "CHECKPOINT_DIRNAME",
+    "CHECKPOINT_SUFFIX",
+    "CHECKPOINT_KIND",
+]
+
+#: Default checkpoint directory name under the shard-set root.
+CHECKPOINT_DIRNAME = ".checkpoints"
+
+#: File suffix for envelope-framed checkpoint files.
+CHECKPOINT_SUFFIX = ".ckpt"
+
+#: Envelope ``kind`` for BSP coordinator checkpoints.
+CHECKPOINT_KIND = "bsp-checkpoint"
 
 
 def payload_nbytes(obj) -> int:
@@ -139,6 +159,31 @@ class SuperstepStats:
 
 
 @dataclass
+class BSPCheckpointer:
+    """Checkpoint policy for a :class:`BSPDriver` (DESIGN §13).
+
+    ``every`` is the cadence in *supersteps* between durable saves;
+    ``resume`` arms :meth:`BSPDriver.load_resume` so algorithms restart
+    from the last durable superstep instead of from scratch.  The
+    disabled path (``checkpointer=None`` on the driver) costs one
+    attribute check per superstep.
+    """
+
+    directory: Path
+    every: int = 1
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        if self.every < 1:
+            raise ValueError("checkpoint cadence `every` must be >= 1")
+
+    def path_for(self, tag: str) -> Path:
+        safe = tag.replace("/", "_").replace("\\", "_")
+        return self.directory / f"{safe}{CHECKPOINT_SUFFIX}"
+
+
+@dataclass
 class BSPDriver:
     """Runs supersteps over a shard set and keeps the metrics ledger."""
 
@@ -147,8 +192,10 @@ class BSPDriver:
     mem_budget: Optional[MemoryBudget] = None
     stats: list = field(default_factory=list)
     last_completed: int = -1
+    checkpointer: Optional[BSPCheckpointer] = None
     _degrees: Optional[np.ndarray] = None
     _paged_in: set = field(default_factory=set)
+    _last_saved: int = -1
 
     def __post_init__(self) -> None:
         self.ctx = ensure_context(self.ctx)
@@ -212,6 +259,80 @@ class BSPDriver:
         if self.mem_budget is not None:
             self.mem_budget.check_rss(f"superstep {index} ({phase})")
         return results
+
+    # ------------------------------------------------------------------
+    # Durable coordinator checkpoints (DESIGN §13).
+    #
+    # Coordinator state only advances *between* supersteps, so a
+    # checkpoint taken at a superstep boundary plus the deterministic
+    # algorithm loop is sufficient to resume with bit-identical results
+    # after the coordinator process itself is SIGKILLed — the same
+    # argument that makes worker re-runs exact, lifted one level up.
+    # ------------------------------------------------------------------
+    def maybe_checkpoint(self, tag: str, state: dict, *, force: bool = False) -> bool:
+        """Persist ``state`` under ``tag`` if the cadence is due.
+
+        ``state`` is the algorithm's complete between-superstep
+        coordinator state; the driver adds its own ledger
+        (``last_completed``, :class:`SuperstepStats`, paged-in set) so
+        a resumed run's metrics cover the pre-crash supersteps too.
+        Returns whether a checkpoint was written.
+        """
+        cp = self.checkpointer
+        if cp is None:
+            return False
+        if not force and self.last_completed - self._last_saved < cp.every:
+            return False
+        doc = {
+            "tag": tag,
+            "state": state,
+            "driver": {
+                "last_completed": self.last_completed,
+                "paged_in": sorted(self._paged_in),
+                "stats": [s.as_dict() for s in self.stats],
+            },
+        }
+        save_state(cp.path_for(tag), doc, kind=CHECKPOINT_KIND)
+        self._last_saved = self.last_completed
+        return True
+
+    def load_resume(self, tag: str) -> Optional[dict]:
+        """Return the saved algorithm state for ``tag``, or ``None``.
+
+        Only active when the checkpointer was armed with
+        ``resume=True`` and a checkpoint file exists.  Restores the
+        driver's ledger to the saved snapshot (when it is ahead of the
+        current one) so resumed metrics are cumulative.  Corrupt files
+        raise :class:`~repro.errors.CorruptCheckpoint`.
+        """
+        cp = self.checkpointer
+        if cp is None or not cp.resume:
+            return None
+        path = cp.path_for(tag)
+        if not path.exists():
+            return None
+        doc = load_state(path, kind=CHECKPOINT_KIND)
+        if not isinstance(doc, dict) or doc.get("tag") != tag:
+            raise CorruptCheckpoint(
+                f"corrupt checkpoint {path}: tag mismatch "
+                f"(expected {tag!r}, found {doc.get('tag')!r})"
+            )
+        drv = doc["driver"]
+        if int(drv["last_completed"]) > self.last_completed:
+            self.last_completed = int(drv["last_completed"])
+            self.stats = [SuperstepStats(**d) for d in drv["stats"]]
+            self._paged_in = set(drv["paged_in"])
+        self._last_saved = self.last_completed
+        return doc["state"]
+
+    def clear_checkpoint(self, tag: str) -> None:
+        """Drop ``tag``'s checkpoint (called when the algorithm ends)."""
+        cp = self.checkpointer
+        if cp is not None:
+            try:
+                cp.path_for(tag).unlink()
+            except FileNotFoundError:
+                pass
 
     # ------------------------------------------------------------------
     def degrees(self) -> np.ndarray:

@@ -38,6 +38,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.durable import write_json_atomic
 from repro.errors import GraphFormatError, GraphStructureError, PartitioningError, SnapError
 from repro.graph.csr import EDGE_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE, Graph
 
@@ -523,6 +524,16 @@ class ShardSet:
                         f"{fname}:{member}: crc {got[member]:08x} != "
                         f"manifest {int(crc):08x}"
                     )
+        # Checkpoint envelopes under the shard-set root (DESIGN §13):
+        # each must pass magic + header CRC + length + payload CRC, so
+        # torn writes, truncation and bit flips are named before a
+        # --resume run would trip over them.
+        ckpt_dir = self.root / ".checkpoints"
+        if ckpt_dir.is_dir():
+            from repro.durable import check_envelope
+
+            for path in sorted(ckpt_dir.glob("*.ckpt")):
+                problems.extend(check_envelope(path))
         if deep and not problems:
             try:
                 g = self.stitch()
@@ -741,7 +752,10 @@ def build_shard_set(
         },
         "shards": shard_entries,
     }
-    with open(out / MANIFEST_NAME, "w", encoding="utf-8") as f:
-        json.dump(manifest, f, indent=1, sort_keys=True)
-        f.write("\n")
+    # The manifest is the shard set's commit point: it is written last,
+    # atomically, so a crash mid-build leaves a directory `open_shard_set`
+    # rejects rather than a torn manifest over valid-looking payloads.
+    write_json_atomic(
+        out / MANIFEST_NAME, manifest, indent=1, sort_keys=True
+    )
     return ShardSet(out, manifest)

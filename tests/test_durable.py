@@ -1,0 +1,677 @@
+"""Durability layer: atomic writes, envelopes, journals, crash resume.
+
+The contract under test (DESIGN §13): every durable artifact is written
+atomically (readers never observe a torn file), every checkpoint
+envelope detects truncation/bit-flips/wrong-kind loudly as
+:class:`~repro.errors.CorruptCheckpoint`, and each of the three
+recovery surfaces — sharded BSP coordinator, stream engine, daemon
+registry — resumes from its last durable state with **bit-identical**
+results.
+
+Tier-1 smokes simulate the crash in-process (an exception thrown
+between supersteps / a checkpoint file left mid-stream); the
+``crash_full`` matrix SIGKILLs real coordinator subprocesses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.centrality.closeness import closeness_centrality
+from repro.cli import main as cli_main
+from repro.community.pla import pla
+from repro.datasets.karate import karate_club
+from repro.durable import (
+    ENVELOPE_MAGIC,
+    Journal,
+    check_envelope,
+    load_state,
+    pack_envelope,
+    replay_journal,
+    save_state,
+    unpack_envelope,
+    verify_envelope,
+    write_json_atomic,
+)
+from repro.dynamic import StreamEngine, crawl_events, group_batches, write_events
+from repro.errors import CorruptCheckpoint, ServiceRecovering
+from repro.graph import io as graph_io
+from repro.kernels.bfs import msbfs
+from repro.kernels.connected import connected_components
+from repro.parallel.chaos import files_appeared, run_coordinator_killed
+from repro.sharded import (
+    BSPCheckpointer,
+    BSPDriver,
+    build_shard_set,
+    sharded_closeness,
+    sharded_connected_components,
+    sharded_msbfs,
+    sharded_pla,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def karate():
+    return karate_club()
+
+
+# ---------------------------------------------------------------------------
+# Atomic writes + the CRC-stamped envelope
+# ---------------------------------------------------------------------------
+class TestAtomicWrites:
+    def test_write_json_atomic_roundtrip(self, tmp_path):
+        path = tmp_path / "doc.json"
+        doc = {"b": [1, 2, 3], "a": {"nested": True}}
+        write_json_atomic(path, doc, sort_keys=True)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == doc
+        # the temp file must not survive the replace
+        assert list(tmp_path.glob(".doc.json.*")) == []
+
+    def test_replace_overwrites_previous(self, tmp_path):
+        path = tmp_path / "doc.json"
+        write_json_atomic(path, {"v": 1})
+        write_json_atomic(path, {"v": 2})
+        assert json.loads(path.read_text()) == {"v": 2}
+
+    def test_envelope_roundtrip(self):
+        payload = b"\x00\x01payload bytes\xff"
+        blob = pack_envelope("unit-test", payload)
+        assert blob.startswith(ENVELOPE_MAGIC)
+        kind, got = unpack_envelope(blob, kind="unit-test")
+        assert kind == "unit-test"
+        assert got == payload
+
+    def test_save_load_state_numpy_bit_identical(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        arr = np.arange(257, dtype=np.int32).reshape(1, -1)
+        save_state(path, {"arr": arr, "n": 7}, kind="unit-test")
+        st = load_state(path, kind="unit-test")
+        assert st["n"] == 7
+        assert st["arr"].tobytes() == arr.tobytes()
+        assert st["arr"].dtype == arr.dtype
+        assert verify_envelope(path) == "unit-test"
+        assert check_envelope(path) == []
+
+    def test_kind_mismatch_refused(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        save_state(path, {"x": 1}, kind="alpha")
+        with pytest.raises(CorruptCheckpoint, match="kind mismatch"):
+            load_state(path, kind="beta")
+
+    @pytest.mark.parametrize("cut", [0, 4, 11, 30, -1])
+    def test_truncation_detected(self, tmp_path, cut):
+        path = tmp_path / "s.ckpt"
+        save_state(path, {"x": list(range(100))}, kind="t")
+        blob = path.read_bytes()
+        path.write_bytes(blob[:cut])
+        with pytest.raises(CorruptCheckpoint, match="truncated|CRC"):
+            load_state(path, kind="t")
+        assert check_envelope(path) != []
+
+    @pytest.mark.parametrize("where", ["magic", "header", "payload"])
+    def test_bit_flip_detected(self, tmp_path, where):
+        path = tmp_path / "s.ckpt"
+        save_state(path, {"x": list(range(100))}, kind="t")
+        blob = bytearray(path.read_bytes())
+        offset = {"magic": 2, "header": 20, "payload": len(blob) - 5}[where]
+        blob[offset] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptCheckpoint):
+            load_state(path, kind="t")
+        problems = check_envelope(path)
+        assert problems and str(path) in problems[0]
+
+    def test_trailing_garbage_detected(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        save_state(path, {"x": 1}, kind="t")
+        path.write_bytes(path.read_bytes() + b"junk")
+        with pytest.raises(CorruptCheckpoint, match="trailing garbage"):
+            verify_envelope(path)
+
+    def test_non_envelope_file_refused(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        path.write_bytes(b"this is not an envelope at all, not even close")
+        with pytest.raises(CorruptCheckpoint, match="bad magic"):
+            verify_envelope(path)
+
+    def test_check_envelope_missing_file(self, tmp_path):
+        assert check_envelope(tmp_path / "absent.ckpt") != []
+
+
+# ---------------------------------------------------------------------------
+# The append-only journal
+# ---------------------------------------------------------------------------
+class TestJournal:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "ops.journal"
+        records = [{"op": "load", "i": i} for i in range(5)]
+        with Journal(path) as j:
+            for r in records:
+                j.append(r)
+        assert replay_journal(path) == records
+
+    def test_append_survives_reopen(self, tmp_path):
+        path = tmp_path / "ops.journal"
+        with Journal(path) as j:
+            j.append({"op": "a"})
+        with Journal(path) as j:
+            j.append({"op": "b"})
+        assert [r["op"] for r in replay_journal(path)] == ["a", "b"]
+
+    def test_torn_final_line_dropped(self, tmp_path):
+        path = tmp_path / "ops.journal"
+        with Journal(path) as j:
+            j.append({"op": "a"})
+            j.append({"op": "bbbbbbbbbbbbbbbb"})
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-7])  # crash mid-append: torn tail
+        assert [r["op"] for r in replay_journal(path)] == ["a"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "ops.journal"
+        with Journal(path) as j:
+            j.append({"op": "aaaa"})
+            j.append({"op": "b"})
+        lines = path.read_text().splitlines(keepends=True)
+        lines[0] = lines[0].replace("aaaa", "aaaX")
+        path.write_text("".join(lines))
+        with pytest.raises(CorruptCheckpoint, match="line 1"):
+            replay_journal(path)
+
+    def test_final_line_bit_flip_is_not_torn(self, tmp_path):
+        # A newline-terminated final line whose body still parses as
+        # JSON but fails its CRC is real corruption, not a torn append.
+        path = tmp_path / "ops.journal"
+        with Journal(path) as j:
+            j.append({"op": "aaaa"})
+        path.write_text(path.read_text().replace("aaaa", "aaaX"))
+        with pytest.raises(CorruptCheckpoint):
+            replay_journal(path)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert replay_journal(tmp_path / "absent.journal") == []
+
+
+# ---------------------------------------------------------------------------
+# Tier-1 guard: no raw JSON writes outside the durability layer
+# ---------------------------------------------------------------------------
+def test_no_raw_json_writes_in_src():
+    """Every JSON artifact written from ``src/`` must go through
+    ``repro.durable.write_json_atomic`` (crash atomicity)."""
+    offenders = []
+    for path in sorted((REPO / "src").rglob("*.py")):
+        rel = path.relative_to(REPO)
+        if "repro/durable" in str(rel).replace(os.sep, "/"):
+            continue  # the one sanctioned implementation site
+        text = path.read_text()
+        for needle in ("json.dump(", "write_text(json.dumps"):
+            if needle in text:
+                offenders.append(f"{rel}: {needle}")
+    assert not offenders, (
+        "raw JSON file writes found — use repro.durable.write_json_atomic "
+        f"instead: {offenders}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# BSP coordinator resume (tier-1, in-process simulated crash)
+# ---------------------------------------------------------------------------
+class _Boom(RuntimeError):
+    """Stand-in for coordinator death between supersteps."""
+
+
+def _resume_driver(ss, cpdir) -> BSPDriver:
+    return BSPDriver(
+        ss, checkpointer=BSPCheckpointer(cpdir, every=1, resume=True)
+    )
+
+
+def _crashing_driver(ss, cpdir, *, crash_after: int) -> BSPDriver:
+    """A resume-armed driver whose superstep raises after N calls."""
+    drv = _resume_driver(ss, cpdir)
+    orig = drv.superstep
+    calls = {"n": 0}
+
+    def wrapped(*a, **kw):
+        if calls["n"] >= crash_after:
+            raise _Boom(f"simulated coordinator death at call {calls['n']}")
+        calls["n"] += 1
+        return orig(*a, **kw)
+
+    drv.superstep = wrapped  # instance attr shadows the method
+    return drv
+
+
+class TestBSPResume:
+    @pytest.fixture()
+    def shards(self, karate, tmp_path):
+        return build_shard_set(karate, tmp_path / "ss", k=3), tmp_path / "cp"
+
+    def test_msbfs_resume_bit_identical(self, karate, shards):
+        ss, cpdir = shards
+        sources = [0, 16, 33]
+        with pytest.raises(_Boom):
+            sharded_msbfs(ss, sources,
+                          driver=_crashing_driver(ss, cpdir, crash_after=2))
+        assert list(cpdir.glob("*.ckpt")), "crash left no durable checkpoint"
+        got = sharded_msbfs(ss, sources, driver=_resume_driver(ss, cpdir))
+        ref = msbfs(karate, sources)
+        assert got.distances.tobytes() == ref.distances.tobytes()
+        assert got.n_levels == ref.n_levels
+        assert not list(cpdir.glob("*.ckpt")), "completion must clear ckpts"
+
+    def test_components_resume_bit_identical(self, karate, shards):
+        ss, cpdir = shards
+        with pytest.raises(_Boom):
+            sharded_connected_components(
+                ss, driver=_crashing_driver(ss, cpdir, crash_after=1))
+        got = sharded_connected_components(
+            ss, driver=_resume_driver(ss, cpdir))
+        assert np.array_equal(got, connected_components(karate))
+
+    def test_pla_resume_bit_identical(self, karate, shards):
+        ss, cpdir = shards
+        with pytest.raises(_Boom):
+            sharded_pla(ss, driver=_crashing_driver(ss, cpdir, crash_after=4))
+        got = sharded_pla(ss, driver=_resume_driver(ss, cpdir))
+        ref = pla(karate, multilevel=True)
+        assert got.modularity == ref.modularity
+        assert np.array_equal(got.labels, ref.labels)
+        assert got.extras == ref.extras
+
+    def test_closeness_resume_bit_identical(self, karate, shards):
+        ss, cpdir = shards
+        with pytest.raises(_Boom):
+            sharded_closeness(
+                ss, driver=_crashing_driver(ss, cpdir, crash_after=5))
+        got = sharded_closeness(ss, driver=_resume_driver(ss, cpdir))
+        assert got.tobytes() == closeness_centrality(karate).tobytes()
+        assert not list(cpdir.glob("*.ckpt"))
+
+    def test_resumed_metrics_cover_precrash_supersteps(self, karate, shards):
+        ss, cpdir = shards
+        drv1 = _crashing_driver(ss, cpdir, crash_after=3)
+        with pytest.raises(_Boom):
+            sharded_msbfs(ss, [0, 16, 33], driver=drv1)
+        drv2 = _resume_driver(ss, cpdir)
+        sharded_msbfs(ss, [0, 16, 33], driver=drv2)
+        # cumulative ledger: resumed run's superstep count equals an
+        # uninterrupted run's (indices contiguous from 0)
+        drv_ref = BSPDriver(ss)
+        sharded_msbfs(ss, [0, 16, 33], driver=drv_ref)
+        assert [s.index for s in drv2.stats] == [
+            s.index for s in drv_ref.stats
+        ]
+
+    def test_resume_mismatch_refused(self, karate, shards):
+        ss, cpdir = shards
+        with pytest.raises(_Boom):
+            sharded_msbfs(ss, [0, 16],
+                          driver=_crashing_driver(ss, cpdir, crash_after=2))
+        with pytest.raises(CorruptCheckpoint, match="mismatch"):
+            sharded_msbfs(ss, [0, 33], driver=_resume_driver(ss, cpdir))
+
+    def test_corrupt_checkpoint_refused_on_resume(self, karate, shards):
+        ss, cpdir = shards
+        with pytest.raises(_Boom):
+            sharded_msbfs(ss, [0, 16],
+                          driver=_crashing_driver(ss, cpdir, crash_after=2))
+        [ckpt] = cpdir.glob("*.ckpt")
+        blob = bytearray(ckpt.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        ckpt.write_bytes(bytes(blob))
+        with pytest.raises(CorruptCheckpoint):
+            sharded_msbfs(ss, [0, 16], driver=_resume_driver(ss, cpdir))
+
+    def test_disarmed_driver_ignores_checkpoints(self, karate, shards):
+        ss, cpdir = shards
+        with pytest.raises(_Boom):
+            sharded_msbfs(ss, [0, 16],
+                          driver=_crashing_driver(ss, cpdir, crash_after=2))
+        # resume=False: a fresh non-resuming driver starts from scratch
+        drv = BSPDriver(
+            ss, checkpointer=BSPCheckpointer(cpdir, every=1, resume=False)
+        )
+        got = sharded_msbfs(ss, [0, 16], driver=drv)
+        ref = msbfs(karate, [0, 16])
+        assert got.distances.tobytes() == ref.distances.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# Stream engine durability (tier-1)
+# ---------------------------------------------------------------------------
+class TestStreamDurability:
+    def test_save_load_mid_stream_bit_identical(self, karate, tmp_path):
+        evs = crawl_events(
+            karate, policy="mod", batch_size=6,
+            rng=np.random.default_rng(1),
+        )
+        batches = list(group_batches(evs))
+        cut = len(batches) // 2
+        full = StreamEngine(karate.n_vertices, k=5)
+        for b in batches:
+            full.apply_batch(b)
+
+        part = StreamEngine(karate.n_vertices, k=5)
+        for b in batches[:cut]:
+            part.apply_batch(b)
+        ckpt = tmp_path / "stream.ckpt"
+        part.save(ckpt)
+        resumed = StreamEngine.load(ckpt)
+        for b in batches[cut:]:
+            resumed.apply_batch(b)
+        assert [r.checksum for r in full.results] == [
+            r.checksum for r in resumed.results
+        ]
+
+    def test_corrupt_stream_checkpoint_refused(self, karate, tmp_path):
+        eng = StreamEngine(karate.n_vertices)
+        ckpt = tmp_path / "stream.ckpt"
+        eng.save(ckpt)
+        blob = bytearray(ckpt.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        ckpt.write_bytes(bytes(blob))
+        with pytest.raises(CorruptCheckpoint):
+            StreamEngine.load(ckpt)
+
+    @pytest.fixture()
+    def events_file(self, karate, tmp_path):
+        evs = crawl_events(
+            karate, policy="bfs", batch_size=8,
+            rng=np.random.default_rng(0),
+        )
+        path = tmp_path / "karate.events"
+        write_events(path, evs, n_vertices=karate.n_vertices)
+        return path, list(group_batches(evs)), karate.n_vertices
+
+    def test_cli_resume_output_bit_identical(self, events_file, tmp_path):
+        path, batches, n = events_file
+        out_full = tmp_path / "full.json"
+        assert cli_main(["stream", str(path), "-o", str(out_full)]) == 0
+
+        # Simulate a crash mid-run: a checkpoint holding the first few
+        # completed batches (what --checkpoint-dir leaves behind when
+        # the process dies during the next batch).
+        ckpt_dir = tmp_path / "ck"
+        ckpt_dir.mkdir()
+        part = StreamEngine(n)  # CLI defaults: components,stats,degree k=10
+        for b in batches[: len(batches) // 2]:
+            part.apply_batch(b)
+        part.save(ckpt_dir / "stream.ckpt")
+
+        out_resumed = tmp_path / "resumed.json"
+        assert cli_main(["stream", str(path),
+                         "--checkpoint-dir", str(ckpt_dir),
+                         "-o", str(out_resumed)]) == 0
+        assert out_resumed.read_bytes() == out_full.read_bytes()
+
+    def test_cli_resume_config_mismatch_refused(self, events_file, tmp_path,
+                                                capsys):
+        path, _, n = events_file
+        ckpt_dir = tmp_path / "ck"
+        ckpt_dir.mkdir()
+        StreamEngine(n, k=5).save(ckpt_dir / "stream.ckpt")  # k != CLI's 10
+        assert cli_main(["stream", str(path),
+                         "--checkpoint-dir", str(ckpt_dir)]) == 1
+        assert "config mismatch" in capsys.readouterr().err
+
+    def test_cli_resume_foreign_stream_refused(self, events_file, tmp_path,
+                                               capsys):
+        path, _, n = events_file
+        ckpt_dir = tmp_path / "ck"
+        ckpt_dir.mkdir()
+        other = StreamEngine(n)
+        from repro.dynamic import EdgeEvent
+
+        other.apply_batch([EdgeEvent("add", 0, 1, t=0)])
+        other.save(ckpt_dir / "stream.ckpt")
+        assert cli_main(["stream", str(path),
+                         "--checkpoint-dir", str(ckpt_dir)]) == 1
+        assert "not a prefix" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Restart-safe daemon (tier-1)
+# ---------------------------------------------------------------------------
+class TestServeDurability:
+    def _mk(self, state_dir):
+        from repro.serve.server import ReproServer, ServeConfig
+
+        return ReproServer(ServeConfig(
+            port=0, max_batch_delay=0.01, state_dir=str(state_dir)
+        ))
+
+    def _client(self, srv):
+        from repro.serve.client import ServeClient
+
+        host, port = srv.address
+        return ServeClient(host, port)
+
+    def test_recovering_envelope_until_replayed(self, tmp_path):
+        with self._mk(tmp_path / "state") as srv:
+            srv.start_background()
+            client = self._client(srv)
+            # health stays answerable and reports the flag
+            doc = client.health()
+            assert doc["ok"] is True and doc["recovering"] is True
+            # data-plane routes answer 503/recovering
+            with pytest.raises(ServiceRecovering):
+                client.graphs()
+            with pytest.raises(ServiceRecovering):
+                client.submit("g", "bfs", source=0)
+            srv.recover()
+            assert client.health()["recovering"] is False
+            assert client.graphs()["resident"] == []
+
+    def test_restart_readmits_loads_and_ingests(self, karate, tmp_path):
+        state = tmp_path / "state"
+        gpath = tmp_path / "karate.txt"
+        graph_io.write_edge_list(karate, str(gpath))
+
+        with self._mk(state) as srv:
+            srv.start_background()
+            srv.recover()
+            client = self._client(srv)
+            client.load(str(gpath), name="k")
+            doc = client.ingest("k", [[1, "add", 0, 33], [1, "add", 2, 30]])
+            n_edges_after = doc["batches"][-1]["n_edges"]
+            before = client.submit("k", "connected_components")["value"]
+
+        with self._mk(state) as srv2:
+            srv2.start_background()
+            summary = srv2.recover()
+            assert summary["loads"] == 1 and summary["ingests"] == 1
+            client2 = self._client(srv2)
+            resident = client2.graphs()["resident"]
+            assert [e["name"] for e in resident] == ["k"]
+            assert resident[0]["n_edges"] == n_edges_after
+            after = client2.submit("k", "connected_components")["value"]
+            assert after == before
+
+    def test_restart_respects_evictions(self, karate, tmp_path):
+        state = tmp_path / "state"
+        gpath = tmp_path / "karate.txt"
+        graph_io.write_edge_list(karate, str(gpath))
+        with self._mk(state) as srv:
+            srv.start_background()
+            srv.recover()
+            client = self._client(srv)
+            client.load(str(gpath), name="a")
+            client.load(str(gpath), name="b")
+            client.evict("a")
+        with self._mk(state) as srv2:
+            srv2.start_background()
+            summary = srv2.recover()
+            assert summary == {
+                "loads": 2, "evicts": 1, "ingests": 0, "skipped": 0
+            }
+            assert self._client(srv2).graphs()["resident"][0]["name"] == "b"
+
+    def test_vanished_source_skipped_not_fatal(self, karate, tmp_path):
+        state = tmp_path / "state"
+        gpath = tmp_path / "karate.txt"
+        graph_io.write_edge_list(karate, str(gpath))
+        with self._mk(state) as srv:
+            srv.start_background()
+            srv.recover()
+            self._client(srv).load(str(gpath), name="k")
+        gpath.unlink()
+        with self._mk(state) as srv2:
+            srv2.start_background()
+            summary = srv2.recover()
+            assert summary["skipped"] == 1 and summary["loads"] == 0
+            assert self._client(srv2).graphs()["resident"] == []
+
+
+# ---------------------------------------------------------------------------
+# crash_full: real SIGKILLed coordinators (excluded from tier-1)
+# ---------------------------------------------------------------------------
+def _cli_env():
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _cli_argv(*args):
+    return [sys.executable, "-m", "repro", *args]
+
+
+def _strip_seconds(doc):
+    if isinstance(doc, dict):
+        return {k: _strip_seconds(v) for k, v in doc.items()
+                if k not in ("seconds", "seconds_total")}
+    if isinstance(doc, list):
+        return [_strip_seconds(v) for v in doc]
+    return doc
+
+
+@pytest.mark.crash_full
+class TestCrashMatrix:
+    def test_shard_run_killed_mid_superstep_resumes_bit_identical(
+        self, tmp_path
+    ):
+        from repro.generators.rmat import rmat
+
+        g = rmat(10, 8.0, rng=np.random.default_rng(7))
+        gpath = tmp_path / "g.npz"
+        graph_io.save_npz(g, gpath)
+        root = tmp_path / "ss"
+        assert cli_main(["shard", "build", str(gpath), "-o", str(root),
+                         "-k", "4"]) == 0
+        ckpt_dir = tmp_path / "cp"
+        ref_metrics = tmp_path / "ref.json"
+        base = ["shard", "run", str(root),
+                "--algo", "msbfs,components,pla",
+                "--sources", "0,5,33"]
+        run = [*base, "--checkpoint-every", "1",
+               "--checkpoint-dir", str(ckpt_dir)]
+        # reference: uninterrupted, checkpointing disabled
+        assert cli_main([*base, "--metrics", str(ref_metrics)]) == 0
+        ref = _strip_seconds(json.loads(ref_metrics.read_text())["algos"])
+
+        out = run_coordinator_killed(
+            _cli_argv(*run),
+            files_appeared(ckpt_dir, "*.ckpt", 2),
+            env=_cli_env(), timeout=300.0,
+        )
+        assert out["outcome"] == "killed"
+        assert list(ckpt_dir.glob("*.ckpt"))
+
+        metrics = tmp_path / "resumed.json"
+        proc = subprocess.run(
+            _cli_argv(*run, "--resume", "--metrics", str(metrics)),
+            env=_cli_env(), capture_output=True, text=True, timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        got = _strip_seconds(json.loads(metrics.read_text())["algos"])
+        assert got == ref
+
+    def test_stream_killed_mid_batch_resumes_bit_identical(self, tmp_path):
+        g = karate_club()
+        evs = crawl_events(g, policy="bfs", batch_size=4,
+                           rng=np.random.default_rng(0))
+        epath = tmp_path / "k.events"
+        write_events(epath, evs, n_vertices=g.n_vertices)
+        out_full = tmp_path / "full.json"
+        assert cli_main(["stream", str(epath), "-o", str(out_full)]) == 0
+
+        ckpt_dir = tmp_path / "cp"
+        out_resumed = tmp_path / "resumed.json"
+        run = ["stream", str(epath), "--checkpoint-dir", str(ckpt_dir),
+               "-o", str(out_resumed)]
+        out = run_coordinator_killed(
+            _cli_argv(*run),
+            files_appeared(ckpt_dir, "stream.ckpt", 1),
+            env=_cli_env(), timeout=300.0,
+        )
+        if out["outcome"] == "killed":
+            proc = subprocess.run(
+                _cli_argv(*run), env=_cli_env(),
+                capture_output=True, text=True, timeout=600,
+            )
+            assert proc.returncode == 0, proc.stderr
+        assert out_resumed.read_bytes() == out_full.read_bytes()
+
+    def test_daemon_killed_after_ingest_readmits_on_restart(self, tmp_path):
+        import http.client
+        import signal
+
+        from repro.serve.client import ServeClient
+
+        g = karate_club()
+        gpath = tmp_path / "k.txt"
+        graph_io.write_edge_list(g, str(gpath))
+        state = tmp_path / "state"
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            port = s.getsockname()[1]
+
+        proc = subprocess.Popen(
+            _cli_argv("serve", "--port", str(port),
+                      "--state-dir", str(state)),
+            env=_cli_env(), stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            client = ServeClient("127.0.0.1", port)
+            deadline = time.monotonic() + 60
+            while True:
+                try:
+                    if client.health()["recovering"] is False:
+                        break
+                except (OSError, http.client.HTTPException):
+                    pass
+                assert time.monotonic() < deadline, "daemon never came up"
+                time.sleep(0.05)
+            client.load(str(gpath), name="k")
+            doc = client.ingest("k", [[1, "add", 0, 33]])
+            n_edges = doc["batches"][-1]["n_edges"]
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        from repro.serve.server import ReproServer, ServeConfig
+
+        with ReproServer(ServeConfig(
+            port=0, max_batch_delay=0.01, state_dir=str(state)
+        )) as srv:
+            summary = srv.recover()
+            assert summary["loads"] == 1 and summary["ingests"] == 1
+            entry = srv.registry.get("k")
+            assert entry.graph.n_edges == n_edges

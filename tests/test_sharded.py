@@ -29,6 +29,7 @@ from repro.kernels.connected import connected_components
 from repro.parallel import ChaosPlan, Fault, FaultPolicy, ParallelContext
 from repro.parallel.costmodel import CostModel, recommend_shards
 from repro.sharded import (
+    BSPCheckpointer,
     BSPDriver,
     MemoryBudget,
     build_shard_set,
@@ -164,6 +165,37 @@ class TestVerify:
         ss = build_shard_set(karate, tmp_path / "s", k=2)
         ss.shard_path(0).unlink()
         assert open_shard_set(ss.root).verify() != []
+
+    @staticmethod
+    def _leave_checkpoint(ss):
+        """Park one valid BSP checkpoint under the shard-set root."""
+        drv = BSPDriver(ss, checkpointer=BSPCheckpointer(
+            ss.root / ".checkpoints", every=1))
+        drv.last_completed = 0
+        assert drv.maybe_checkpoint("msbfs", {"n": ss.n_vertices})
+        [path] = (ss.root / ".checkpoints").glob("*.ckpt")
+        return path
+
+    def test_valid_checkpoint_passes_verify(self, karate, tmp_path):
+        ss = build_shard_set(karate, tmp_path / "s", k=2)
+        self._leave_checkpoint(ss)
+        assert open_shard_set(ss.root).verify() == []
+
+    def test_checkpoint_bit_flip_detected(self, karate, tmp_path):
+        ss = build_shard_set(karate, tmp_path / "s", k=2)
+        path = self._leave_checkpoint(ss)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        problems = open_shard_set(ss.root).verify()
+        assert problems and str(path) in problems[0]
+
+    def test_checkpoint_truncation_detected(self, karate, tmp_path):
+        ss = build_shard_set(karate, tmp_path / "s", k=2)
+        path = self._leave_checkpoint(ss)
+        path.write_bytes(path.read_bytes()[:11])
+        problems = open_shard_set(ss.root).verify()
+        assert problems and "truncated" in problems[0]
 
 
 # ---------------------------------------------------------------------------
@@ -369,6 +401,16 @@ class TestCli:
         blob[len(blob) // 2] ^= 0xFF
         ss.shard_path(0).write_bytes(bytes(blob))
         assert cli_main(["shard", "verify", str(ss.root)]) == 1
+
+    def test_cli_verify_names_corrupt_checkpoint(self, karate, tmp_path,
+                                                 capsys):
+        ss = build_shard_set(karate, tmp_path / "s", k=2)
+        path = TestVerify._leave_checkpoint(ss)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert cli_main(["shard", "verify", str(ss.root)]) == 1
+        assert str(path) in capsys.readouterr().out
 
     def test_cli_build_mem_budget_sizing(self, rmat10, tmp_path):
         gpath = tmp_path / "g.npz"
